@@ -1,0 +1,58 @@
+// Command scaling sweeps the simulated-cluster experiment behind Table V
+// and Figure 3: per-step and per-double-check execution time, and relative
+// time/memory overheads, across core counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/scaling"
+)
+
+func main() {
+	var (
+		coreList = flag.String("cores", "64,128,256,512,1024,2048,4096", "core counts to sweep")
+		det      = flag.String("detector", "ibdc", "classic, lbdc, or ibdc")
+		steps    = flag.Int("steps", 50, "accepted steps to simulate")
+		fpRate   = flag.Float64("fp", 0.03, "false-positive recomputation rate charged to the detector")
+		stages   = flag.Int("stages", 2, "stage evaluations per step (N_k)")
+	)
+	flag.Parse()
+
+	t := &harness.Table{
+		Title:   fmt.Sprintf("Simulated cluster sweep — %s, %d steps, N_k=%d", *det, *steps, *stages),
+		Headers: []string{"Cores", "Step (s)", "Check (s)", "Time overhead %", "Memory overhead %"},
+	}
+	for _, s := range strings.Split(*coreList, ",") {
+		cores, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		res, err := scaling.Run(scaling.Config{
+			Det:    scaling.Detector(*det),
+			Cores:  cores,
+			Steps:  *steps,
+			FPRate: *fpRate,
+			Stages: *stages,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		t.AddRow(fmt.Sprintf("%d", cores),
+			fmt.Sprintf("%.3e", res.StepSeconds),
+			fmt.Sprintf("%.3e", res.CheckSeconds),
+			fmt.Sprintf("%.2f", res.TimeOverheadPct()),
+			fmt.Sprintf("%.1f", res.MemOverheadPct()))
+	}
+	t.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scaling:", err)
+	os.Exit(1)
+}

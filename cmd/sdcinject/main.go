@@ -1,0 +1,176 @@
+// Command sdcinject runs one fault-injection campaign cell with full
+// control over the workload, method, injector, detector, and injection
+// surfaces, and prints the detection-performance rates. It is the
+// exploratory companion to cmd/sdcbench's fixed paper tables.
+//
+// Examples:
+//
+//	sdcinject -problem burgers -method heun-euler -injector scaled -detector ibdc
+//	sdcinject -problem lorenz -detector replication -inj 5000
+//	sdcinject -problem bubble -method bogacki-shampine -state-prob 0.01
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/inject"
+	"repro/internal/ode"
+	"repro/internal/problems"
+)
+
+func pickProblem(name string, n int) (*problems.Problem, error) {
+	switch name {
+	case "burgers":
+		p := problems.Burgers1D(n, "weno5")
+		p.TEnd = 0.25
+		return p, nil
+	case "burgers-crweno":
+		p := problems.Burgers1D(n, "crweno5-periodic")
+		p.TEnd = 0.25
+		return p, nil
+	case "bubble":
+		return problems.Bubble2D(n, "weno5", 30), nil
+	case "decay":
+		return problems.Decay(), nil
+	case "oscillator":
+		return problems.Oscillator(), nil
+	case "vanderpol":
+		return problems.VanDerPol(5), nil
+	case "lorenz":
+		return problems.Lorenz(), nil
+	case "brusselator":
+		return problems.Brusselator1D(n / 2), nil
+	case "unstable":
+		return problems.Unstable(), nil
+	case "arenstorf":
+		return problems.Arenstorf(), nil
+	case "heat":
+		return problems.Heat1D(n), nil
+	case "advection":
+		return problems.Advection1D(n), nil
+	}
+	return nil, fmt.Errorf("unknown problem %q", name)
+}
+
+func main() {
+	var (
+		probName  = flag.String("problem", "burgers", "workload: burgers, burgers-crweno, bubble, decay, oscillator, vanderpol, lorenz, brusselator, unstable, arenstorf, heat, advection")
+		n         = flag.Int("n", 128, "grid resolution for PDE workloads")
+		method    = flag.String("method", "heun-euler", "embedded pair (heun-euler, bogacki-shampine, dormand-prince, fehlberg, cash-karp)")
+		injName   = flag.String("injector", "scaled", "singlebit, multibit, or scaled")
+		detName   = flag.String("detector", "classic", "classic, lbdc, ibdc, replication, tmr, richardson")
+		minInj    = flag.Int("inj", 2000, "minimum SDC injections")
+		injProb   = flag.Float64("prob", 0.01, "injection probability per stage evaluation")
+		stateProb = flag.Float64("state-prob", 0, "additional per-step state-corruption probability (§V-D)")
+		seed      = flag.Uint64("seed", 1, "root seed")
+		tolA      = flag.Float64("atol", 0, "override absolute tolerance (0 = problem default)")
+		tolR      = flag.Float64("rtol", 0, "override relative tolerance (0 = problem default)")
+		noAdapt   = flag.Bool("no-adapt", false, "disable Algorithm 1's order adaptation")
+		fixedQ    = flag.Int("order", 0, "pin the double-checking order (0 = adaptive)")
+		maxNorm   = flag.Bool("max-norm", false, "use the q=infinity scaled error")
+		overhead  = flag.Bool("overhead", false, "also measure memory/compute overheads vs clean classic run")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
+		replicas  = flag.Int("replicas", 0, "run k seed-varied replicas and report mean +- std of the rates")
+	)
+	flag.Parse()
+
+	p, err := pickProblem(*probName, *n)
+	if err != nil {
+		fatal(err)
+	}
+	if *tolA > 0 {
+		p.TolA = *tolA
+	}
+	if *tolR > 0 {
+		p.TolR = *tolR
+	}
+	tab, err := ode.TableauByName(*method)
+	if err != nil {
+		fatal(err)
+	}
+	inj, err := inject.ByName(*injName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := harness.Config{
+		Problem:       p,
+		Tab:           tab,
+		Injector:      inj,
+		InjectProb:    *injProb,
+		Detector:      harness.DetectorKind(*detName),
+		Seed:          *seed,
+		MinInjections: *minInj,
+		NoAdapt:       *noAdapt,
+		MaxNorm:       *maxNorm,
+		StateProb:     *stateProb,
+	}
+	if *fixedQ > 0 {
+		cfg.FixedOrder = *fixedQ + 1
+		cfg.NoAdapt = true
+	}
+
+	if !*jsonOut {
+		fmt.Printf("%s | %s | %s injections (p=%.3g/eval", p.Name, tab.Name, inj.Name(), *injProb)
+		if *stateProb > 0 {
+			fmt.Printf(", state p=%.3g/step", *stateProb)
+		}
+		fmt.Printf(") | detector=%s | tol=(%g, %g)\n\n", *detName, p.TolA, p.TolR)
+	}
+
+	if *replicas > 1 {
+		rep, err := harness.RunReplicated(cfg, *replicas)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("across %d seeds:\n", *replicas)
+		fmt.Printf("FPR:  %6.2f +- %.2f %%\n", rep.FPRMean, rep.FPRStd)
+		fmt.Printf("TPR:  %6.2f +- %.2f %%\n", rep.TPRMean, rep.TPRStd)
+		fmt.Printf("SFNR: %6.2f +- %.2f %%\n", rep.SFNRMean, rep.SFNRStd)
+		return
+	}
+	if *overhead {
+		oh, res, err := harness.MeasureOverheads(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res)
+		fmt.Printf("\noverheads vs clean classic baseline: %s\n", oh)
+		return
+	}
+	res, err := harness.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(harness.NewReport(cfg, res)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printResult(res)
+}
+
+func printResult(res *harness.Result) {
+	r := res.Rates
+	fmt.Printf("trials:        %d clean + %d corrupted (%d SDCs, %d runs, %d diverged)\n",
+		r.CleanTrials, r.CorruptTrials, r.Injections, r.Runs, r.Diverged)
+	fmt.Printf("FPR:           %s\n", r.FPRInterval())
+	fmt.Printf("TPR:           %s   (FNR %.2f %%)\n", r.TPRInterval(), r.FNR())
+	fmt.Printf("significant:   %d trials, SFNR %s\n", r.SigTrials, r.SFNRInterval())
+	if res.MeanOrder > 0 {
+		fmt.Printf("mean order:    %.2f\n", res.MeanOrder)
+	}
+	fmt.Printf("work:          %d steps, %d evals, %.2f s wall\n", res.Steps, res.Evals, res.WallSeconds)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdcinject:", err)
+	os.Exit(1)
+}

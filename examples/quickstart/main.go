@@ -1,0 +1,70 @@
+// Quickstart: protect an adaptive integration against silent data
+// corruption with integration-based double-checking (IBDC).
+//
+// The workload is the paper's own motivating example (§II-B): the unstable
+// ODE x' = (x-1)^2, whose solution converges to 1 from below but diverges
+// to infinity if anything pushes the state above 1. The SDC model is the
+// paper's §V-D scenario — a corruption of the solution vector as a step
+// reads it — to which the classic adaptive controller is provably blind
+// (the corrupted step is self-consistent, so its error estimate stays
+// small). The double-check compares against the solution history and
+// catches it.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/la"
+	"repro/internal/ode"
+	"repro/internal/problems"
+)
+
+func integrate(guarded bool) {
+	p := problems.Unstable()
+	armed := false
+	stateHook := func(t float64, x la.Vec) int {
+		if armed && t > 2 {
+			armed = false
+			x[0] = 1.15 // SDC nudges the state across the instability boundary
+			return 1
+		}
+		return 0
+	}
+
+	in := &ode.Integrator{
+		Tab:       ode.HeunEuler(),
+		Ctrl:      ode.DefaultController(p.TolA, p.TolR),
+		StateHook: stateHook,
+		// Keep the two demo runs on bit-identical trajectories up to the
+		// corruption (the double-check's f(x_n) reuse would otherwise shift
+		// the step sequence slightly).
+		NoReuseFirstStage: true,
+	}
+	label := "classic controller"
+	if guarded {
+		in.Validator = core.NewIBDC()
+		label = "IBDC double-check "
+	}
+	in.Init(p.Sys, p.T0, p.TEnd, p.X0, p.H0)
+	armed = true
+	_, err := in.Run()
+	exact := p.Exact(p.TEnd)[0]
+	switch {
+	case err != nil:
+		fmt.Printf("%s: DIVERGED at t=%.3f (%v)\n", label, in.T(), err)
+	case in.X().HasNaNOrInf() || in.X()[0] > 1:
+		fmt.Printf("%s: corrupted result x(T)=%g (exact %g)\n", label, in.X()[0], exact)
+	default:
+		fmt.Printf("%s: x(T) = %.6f (exact %.6f), classic rejections=%d, double-check rejections=%d\n",
+			label, in.X()[0], exact, in.Stats.RejectedClassic, in.Stats.RejectedValidator)
+	}
+}
+
+func main() {
+	fmt.Println("x' = (x-1)^2, x(0) = 0.5: converges to 1 unless an SDC pushes x above 1.")
+	fmt.Println("One silent corruption sets x := 1.15 at t ~ 2. The shift is far above the\nintegration tolerance (1e-6) yet leaves the local error estimate essentially\nunchanged -- the classic controller cannot see it (paper, §IV-B/§V-D).")
+	fmt.Println()
+	integrate(false)
+	integrate(true)
+}

@@ -1,0 +1,82 @@
+package convergence
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ode"
+	"repro/internal/weno"
+)
+
+func TestTableAnnotatesOrders(t *testing.T) {
+	// A synthetic second-order error model.
+	rows := Table([]int{10, 20, 40}, func(n int) float64 { return 1 / float64(n*n) })
+	if rows[0].Order != 0 {
+		t.Fatalf("first row order %g", rows[0].Order)
+	}
+	for _, r := range rows[1:] {
+		if math.Abs(r.Order-2) > 1e-12 {
+			t.Fatalf("order %g, want 2", r.Order)
+		}
+	}
+	if o := ObservedOrder(rows); math.Abs(o-2) > 1e-12 {
+		t.Fatalf("ObservedOrder %g", o)
+	}
+	if ObservedOrder(rows[:1]) != 0 {
+		t.Fatal("single-row order should be 0")
+	}
+}
+
+func TestRKOrdersMatchTableaus(t *testing.T) {
+	for _, tab := range ode.AllTableaus() {
+		rows := Table([]int{32, 64, 128}, func(n int) float64 { return RKError(tab, n) })
+		got := ObservedOrder(rows)
+		if math.Abs(got-float64(tab.Order)) > 0.4 {
+			t.Errorf("%s: observed order %.2f, want %d", tab.Name, got, tab.Order)
+		}
+	}
+}
+
+func TestWENOOrders(t *testing.T) {
+	for _, s := range []weno.Scheme{weno.Weno5{}, weno.WenoZ5{}, &weno.Crweno5{Periodic: true}} {
+		rows := Table([]int{32, 64}, func(n int) float64 { return WENODerivError(s, n) })
+		if got := ObservedOrder(rows); got < 4.4 {
+			t.Errorf("%s: observed order %.2f, want ~5", s.Name(), got)
+		}
+	}
+}
+
+func TestEstimateOrders(t *testing.T) {
+	for q := 1; q <= 3; q++ {
+		for _, kind := range []string{"lip", "bdf"} {
+			rows := Table([]int{32, 64, 128}, func(n int) float64 { return EstimateError(kind, q, n) })
+			got := ObservedOrder(rows)
+			// A q-th order estimate has interpolation error O(h^{q+1}).
+			if math.Abs(got-float64(q+1)) > 0.5 {
+				t.Errorf("%s q=%d: observed order %.2f, want %d", kind, q, got, q+1)
+			}
+		}
+	}
+}
+
+func TestEstimateUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EstimateError("spline", 1, 10)
+}
+
+func TestReportMentionsEveryMethod(t *testing.T) {
+	var buf bytes.Buffer
+	Report(&buf)
+	out := buf.String()
+	for _, want := range []string{"heun-euler", "dormand-prince", "weno5", "crweno5", "LIP estimate", "BDF estimate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/inject"
+	"repro/internal/la"
+	"repro/internal/ode"
+	"repro/internal/xrand"
+)
+
+var decay = ode.Func{N: 1, F: func(t float64, x, dst la.Vec) { dst[0] = -x[0] }}
+
+var oscillator = ode.Func{N: 2, F: func(t float64, x, dst la.Vec) {
+	dst[0] = x[1]
+	dst[1] = -x[0]
+}}
+
+func runGuarded(t *testing.T, tab *ode.Tableau, v ode.Validator, hook ode.StageHook, tEnd float64) *ode.Integrator {
+	t.Helper()
+	in := &ode.Integrator{Tab: tab, Ctrl: ode.DefaultController(1e-6, 1e-6), Validator: v, Hook: hook}
+	in.Init(oscillator, 0, tEnd, la.Vec{1, 0}, 0.001)
+	if _, err := in.Run(); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return in
+}
+
+func TestStrategyOrderRanges(t *testing.T) {
+	if lo, hi := (LIP{}).OrderRange(); lo != 0 || hi != 3 {
+		t.Fatalf("LIP default range [%d,%d]", lo, hi)
+	}
+	if lo, hi := (BDF{}).OrderRange(); lo != 1 || hi != 3 {
+		t.Fatalf("BDF default range [%d,%d]", lo, hi)
+	}
+	if lo, hi := (LIP{QMax: 1}).OrderRange(); lo != 0 || hi != 1 {
+		t.Fatalf("LIP custom range [%d,%d]", lo, hi)
+	}
+}
+
+func TestDoubleCheckDefaults(t *testing.T) {
+	d := NewLBDC()
+	d.Validate(&ode.CheckContext{ // minimal context with 1-entry history
+		Hist: primedHistory(1), Ctrl: ctrl(), XProp: la.Vec{1}, Weights: la.Vec{1},
+	})
+	if d.Gamma != 0.05 || d.GammaCap != 0.1 || d.CMax != 10 {
+		t.Fatalf("defaults not applied: %+v", d)
+	}
+	if d.Order() != 1 {
+		t.Fatalf("LBDC initial order = %d, want 1", d.Order())
+	}
+	if NewIBDC().Order() != 1 {
+		t.Fatal("IBDC initial order should be 1")
+	}
+}
+
+func primedHistory(n int) *ode.History {
+	h := ode.NewHistory(8, 1)
+	for i := 0; i < n; i++ {
+		h.Push(float64(i)*0.1, 0.1, la.Vec{1 - 0.1*float64(i)})
+	}
+	return h
+}
+
+func ctrl() *ode.Controller {
+	c := ode.DefaultController(1e-6, 1e-6)
+	return &c
+}
+
+func TestDoubleCheckCleanRunNoFalseAlarmsAfterAdaptation(t *testing.T) {
+	// On a clean (no injection) smooth run, the detector must not inflate
+	// cost unboundedly: the FP self-detection recovers every false alarm,
+	// so the integration completes and matches the unguarded result.
+	for _, d := range []*DoubleCheck{NewLBDC(), NewIBDC()} {
+		in := runGuarded(t, ode.HeunEuler(), d, nil, 3)
+		if e := math.Abs(in.X()[0] - math.Cos(3)); e > 1e-3 {
+			t.Errorf("%s: guarded clean run error %g", d.Strat.Name(), e)
+		}
+		// Every validator rejection on a clean run is a false positive and
+		// must have been rescued.
+		if in.Stats.RejectedValidator != in.Stats.FPRescues {
+			t.Errorf("%s: %d rejections but %d rescues on clean run",
+				d.Strat.Name(), in.Stats.RejectedValidator, in.Stats.FPRescues)
+		}
+	}
+}
+
+func TestDoubleCheckDetectsUndetectedSignificantSDC(t *testing.T) {
+	// Construct the paper's §V-D scenario: corrupt the step so that the
+	// classic estimate LTE_1 = h/2(K2-K1) is exactly unchanged while x_n
+	// shifts by h*eps. For Heun-Euler on the linear system x' = -x,
+	// shifting K1 by eps cascades into K2 = f(x + h*K1) as -h*eps; adding
+	// (h*eps + eps) to K2 at the hook restores K2 = K2_clean + eps, so both
+	// stages carry the same shift and LTE_1 is untouched. The double-check
+	// must catch what the controller cannot.
+	for _, mk := range []func() *DoubleCheck{NewLBDC, NewIBDC} {
+		d := mk()
+		armed := false
+		const eps = 1e-2
+		var t0 float64
+		hook := func(stage int, tt float64, k la.Vec) int {
+			if !armed {
+				return 0
+			}
+			switch stage {
+			case 0:
+				t0 = tt
+				k[0] += eps
+				return 1
+			case 1:
+				h := tt - t0
+				k[0] += h*eps + eps
+				armed = false
+				return 1
+			}
+			return 0
+		}
+		// NoReuseFirstStage makes every trial evaluate K1 fresh so the hook
+		// can apply the coordinated shift to both stages.
+		in := &ode.Integrator{Tab: ode.HeunEuler(), Ctrl: ode.DefaultController(1e-8, 1e-8), Validator: d, Hook: hook, NoReuseFirstStage: true}
+		in.Init(decay, 0, 2, la.Vec{1}, 0.001)
+		// Warm up 20 clean steps so the history is primed.
+		for i := 0; i < 20; i++ {
+			if err := in.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		armed = true
+		rejBefore := in.Stats.RejectedValidator
+		classicBefore := in.Stats.RejectedClassic
+		if err := in.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if in.Stats.RejectedClassic != classicBefore {
+			t.Errorf("%s: classic controller rejected (LTE_1 should be blind to this SDC)", d.Strat.Name())
+		}
+		if in.Stats.RejectedValidator == rejBefore {
+			t.Errorf("%s: identical-shift SDC not caught by double-check", d.Strat.Name())
+		}
+	}
+}
+
+func TestOrderAdaptationRaisesOrderUnderFalsePositives(t *testing.T) {
+	d := NewIBDC()
+	d.SetOrder(1)
+	// Simulate Algorithm 1's bookkeeping: a window with frequent FPs.
+	d.nChecks = 10
+	d.c, d.fpWin = 10, 5 // window FPR = 0.5 > Γ
+	d.updateOrder()
+	if d.Order() != 2 {
+		t.Fatalf("order = %d, want 2 after high FPR", d.Order())
+	}
+	d.c, d.fpWin = 10, 5
+	d.updateOrder()
+	if d.Order() != 3 {
+		t.Fatalf("order capped wrong: %d", d.Order())
+	}
+	d.c, d.fpWin = 10, 5
+	d.updateOrder() // at cap, high FPR: stays 3
+	if d.Order() != 3 {
+		t.Fatalf("order exceeded qMax: %d", d.Order())
+	}
+}
+
+func TestOrderAdaptationLowersOrderWhenQuiet(t *testing.T) {
+	d := NewIBDC()
+	d.SetOrder(3)
+	d.nChecks = 100
+	d.c, d.fpWin = 100, 1 // window FPR = 0.01 < γ
+	d.updateOrder()
+	if d.Order() != 2 {
+		t.Fatalf("order = %d, want 2 after low FPR", d.Order())
+	}
+	d.c, d.fpWin = 100, 7 // FPR = 0.07 in (γ, Γ): hysteresis, no change
+	d.updateOrder()
+	if d.Order() != 2 {
+		t.Fatalf("order = %d, want 2 in hysteresis band", d.Order())
+	}
+}
+
+func TestOrderAdaptationCumulativeMode(t *testing.T) {
+	// The ablation mode follows Algorithm 1's literal FP_q/N_steps ratio.
+	d := NewIBDC()
+	d.CumulativeFPR = true
+	d.SetOrder(1)
+	d.nChecks = 10
+	d.fp[1] = 5
+	d.updateOrder()
+	if d.Order() != 2 {
+		t.Fatalf("cumulative mode: order = %d, want 2", d.Order())
+	}
+	d.fp[2] = 0 // FPR at order 2 is 0 < γ: falls back down
+	d.updateOrder()
+	if d.Order() != 1 {
+		t.Fatalf("cumulative mode: order = %d, want 1", d.Order())
+	}
+}
+
+func TestNoAdaptDisablesOrderChanges(t *testing.T) {
+	d := NewIBDC()
+	d.NoAdapt = true
+	d.SetOrder(2)
+	d.nChecks = 10
+	d.fp[2] = 9
+	d.updateOrder()
+	if d.Order() != 2 || d.Stats.OrderChanges != 0 {
+		t.Fatalf("NoAdapt violated: order=%d changes=%d", d.Order(), d.Stats.OrderChanges)
+	}
+}
+
+func TestSetOrderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLBDC().SetOrder(5)
+}
+
+func TestExtraVectorsAccounting(t *testing.T) {
+	l := NewLBDC()
+	l.SetOrder(2)
+	if got := l.ExtraVectors(); got != 3 { // 2 history + 1 scratch
+		t.Fatalf("LBDC extra vectors = %d, want 3", got)
+	}
+	b := NewIBDC()
+	b.SetOrder(3)
+	if got := b.ExtraVectors(); got != 3 { // 2 history + 1 scratch
+		t.Fatalf("IBDC extra vectors = %d, want 3", got)
+	}
+	b.SetOrder(1)
+	if got := b.ExtraVectors(); got != 1 {
+		t.Fatalf("IBDC order-1 extra vectors = %d, want 1", got)
+	}
+}
+
+func TestMeanOrder(t *testing.T) {
+	s := Stats{Checks: 10, Skipped: 2, OrderSum: 16}
+	if got := s.MeanOrder(); got != 2 {
+		t.Fatalf("MeanOrder = %g", got)
+	}
+	empty := Stats{}
+	if empty.MeanOrder() != 0 {
+		t.Fatal("empty MeanOrder should be 0")
+	}
+}
+
+func TestReplicationCatchesInjections(t *testing.T) {
+	plan := inject.NewPlan(xrand.New(99), inject.Scaled{})
+	plan.Prob = 0.05
+	rep := NewReplication(ode.HeunEuler(), oscillator)
+	rep.Quiesce = plan.Pause
+	in := &ode.Integrator{Tab: ode.HeunEuler(), Ctrl: ode.DefaultController(1e-6, 1e-6), Validator: rep, Hook: plan.Hook}
+	in.Init(oscillator, 0, 5, la.Vec{1, 0}, 0.001)
+	if _, err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Count == 0 {
+		t.Fatal("no injections happened; test is vacuous")
+	}
+	// Replication is exact: final solution matches the clean trajectory.
+	if e := math.Hypot(in.X()[0]-math.Cos(5), in.X()[1]+math.Sin(5)); e > 1e-3 {
+		t.Fatalf("replication failed to protect: error %g", e)
+	}
+	if rep.Stats.Rejections == 0 {
+		t.Fatal("replication never rejected despite injections")
+	}
+}
+
+func TestReplicationNoFalsePositivesClean(t *testing.T) {
+	rep := NewReplication(ode.BogackiShampine(), oscillator)
+	in := runGuarded(t, ode.BogackiShampine(), rep, nil, 3)
+	if in.Stats.RejectedValidator != 0 {
+		t.Fatalf("replication produced %d false positives on a clean run", in.Stats.RejectedValidator)
+	}
+	if rep.Stats.Checks == 0 {
+		t.Fatal("replication never checked")
+	}
+}
+
+func TestReplicationExtraVectors(t *testing.T) {
+	rep := NewReplication(ode.HeunEuler(), decay)
+	if got := rep.ExtraVectors(ode.HeunEuler()); got != 4 {
+		t.Fatalf("replication extra = %d, want N_k+2 = 4", got)
+	}
+}
+
+func TestTMRCorrectsInPlace(t *testing.T) {
+	plan := inject.NewPlan(xrand.New(5), inject.Scaled{})
+	plan.Prob = 0.05
+	tmr := NewTMR(ode.HeunEuler(), oscillator)
+	tmr.Quiesce = plan.Pause
+	in := &ode.Integrator{Tab: ode.HeunEuler(), Ctrl: ode.DefaultController(1e-6, 1e-6), Validator: tmr, Hook: plan.Hook}
+	in.Init(oscillator, 0, 5, la.Vec{1, 0}, 0.001)
+	if _, err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Count == 0 || tmr.Corrections == 0 {
+		t.Fatalf("vacuous: injections=%d corrections=%d", plan.Count, tmr.Corrections)
+	}
+	// TMR corrects without recomputation: no validator rejections at all.
+	if in.Stats.RejectedValidator != 0 {
+		t.Fatalf("TMR rejected %d steps instead of correcting", in.Stats.RejectedValidator)
+	}
+	if e := math.Hypot(in.X()[0]-math.Cos(5), in.X()[1]+math.Sin(5)); e > 1e-3 {
+		t.Fatalf("TMR failed to protect: error %g", e)
+	}
+}
+
+func TestRichardsonAcceptsCleanRun(t *testing.T) {
+	rich := NewRichardson(ode.HeunEuler(), oscillator)
+	in := runGuarded(t, ode.HeunEuler(), rich, nil, 2)
+	if in.Stats.RejectedValidator > in.Stats.Steps/10 {
+		t.Fatalf("Richardson too trigger-happy: %d rejections in %d steps",
+			in.Stats.RejectedValidator, in.Stats.Steps)
+	}
+}
+
+func TestRichardsonCatchesLargeSDC(t *testing.T) {
+	rich := NewRichardson(ode.HeunEuler(), decay)
+	armed := false
+	hook := func(stage int, tt float64, k la.Vec) int {
+		if armed {
+			k[0] += 0.05
+			if stage == 1 {
+				armed = false
+			}
+			return 1
+		}
+		return 0
+	}
+	in := &ode.Integrator{Tab: ode.HeunEuler(), Ctrl: ode.DefaultController(1e-8, 1e-8), Validator: rich, Hook: hook}
+	in.Init(decay, 0, 1, la.Vec{1}, 0.001)
+	for i := 0; i < 10; i++ {
+		if err := in.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	armed = true
+	before := rich.Stats.Rejections
+	if err := in.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if rich.Stats.Rejections == before {
+		t.Fatal("Richardson missed an identical-shift SDC")
+	}
+}
+
+func TestAIDFixedStepDetection(t *testing.T) {
+	aid := NewAID()
+	plan := inject.NewPlan(xrand.New(11), inject.Scaled{})
+	plan.Prob = 0 // warm up clean first
+	in := &ode.FixedIntegrator{Tab: ode.HeunEuler(), Validator: aid, Hook: plan.Hook}
+	in.Init(oscillator, 0, la.Vec{1, 0}, 0.01)
+	if err := in.RunN(50); err != nil {
+		t.Fatal(err)
+	}
+	cleanRej := aid.Stats.Rejections
+	plan.Prob = 0.2
+	if err := in.RunN(200); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Count == 0 {
+		t.Fatal("vacuous")
+	}
+	if aid.Stats.Rejections == cleanRej {
+		t.Fatal("AID never detected anything under heavy injection")
+	}
+}
+
+func TestHotRodeFixedStepDetection(t *testing.T) {
+	hr := NewHotRode()
+	plan := inject.NewPlan(xrand.New(13), inject.Scaled{})
+	plan.Prob = 0
+	in := &ode.FixedIntegrator{Tab: ode.HeunEuler(), Validator: hr, Hook: plan.Hook}
+	in.Init(oscillator, 0, la.Vec{1, 0}, 0.01)
+	if err := in.RunN(50); err != nil {
+		t.Fatal(err)
+	}
+	plan.Prob = 0.2
+	if err := in.RunN(200); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Count == 0 {
+		t.Fatal("vacuous")
+	}
+	if hr.Stats.Rejections == 0 {
+		t.Fatal("Hot Rode never detected anything under heavy injection")
+	}
+}
+
+func TestIBDCUsesFPropWithoutExtraEvalsOnFSAL(t *testing.T) {
+	// On a FSAL pair, IBDC must not add any function evaluations on
+	// accepted steps.
+	cs := &ode.CountingSystem{Sys: oscillator}
+	d := NewIBDC()
+	in := &ode.Integrator{Tab: ode.BogackiShampine(), Ctrl: ode.DefaultController(1e-6, 1e-6), Validator: d}
+	in.Init(cs, 0, 1, la.Vec{1, 0}, 0.01)
+	if _, err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	evalsGuarded := cs.Evals
+
+	cs2 := &ode.CountingSystem{Sys: oscillator}
+	in2 := &ode.Integrator{Tab: ode.BogackiShampine(), Ctrl: ode.DefaultController(1e-6, 1e-6)}
+	in2.Init(cs2, 0, 1, la.Vec{1, 0}, 0.01)
+	if _, err := in2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Guarded run may recompute a few FP steps but must stay close.
+	ratio := float64(evalsGuarded) / float64(cs2.Evals)
+	if ratio > 1.25 {
+		t.Fatalf("IBDC on FSAL cost ratio %.2f, want ~1", ratio)
+	}
+}
+
+func TestEnsembleCombinesVerdicts(t *testing.T) {
+	e := NewEnsemble(NewLBDC(), NewIBDC())
+	in := runGuarded(t, ode.HeunEuler(), e, nil, 2)
+	if e.Stats.Checks == 0 {
+		t.Fatal("ensemble never checked")
+	}
+	// Clean run: every ensemble rejection is recoverable.
+	if in.Stats.RejectedValidator > 0 && in.Stats.FPRescues == 0 {
+		t.Fatalf("rejections without rescues: %+v", in.Stats)
+	}
+}
+
+func TestEnsembleCatchesWhatEitherMemberCatches(t *testing.T) {
+	// Reuse the §V-D coordinated-shift scenario; the ensemble must catch it
+	// like its members do.
+	e := NewEnsemble(NewLBDC(), NewIBDC())
+	armed := false
+	const eps = 1e-2
+	var t0 float64
+	hook := func(stage int, tt float64, k la.Vec) int {
+		if !armed {
+			return 0
+		}
+		switch stage {
+		case 0:
+			t0 = tt
+			k[0] += eps
+			return 1
+		case 1:
+			h := tt - t0
+			k[0] += h*eps + eps
+			armed = false
+			return 1
+		}
+		return 0
+	}
+	in := &ode.Integrator{Tab: ode.HeunEuler(), Ctrl: ode.DefaultController(1e-8, 1e-8), Validator: e, Hook: hook, NoReuseFirstStage: true}
+	in.Init(decay, 0, 2, la.Vec{1}, 0.001)
+	for i := 0; i < 20; i++ {
+		if err := in.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	armed = true
+	before := e.Stats.Rejections
+	if err := in.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.Rejections == before {
+		t.Fatal("ensemble missed the coordinated-shift SDC")
+	}
+}
+
+func TestRunToSamplesExactly(t *testing.T) {
+	in := &ode.Integrator{Tab: ode.HeunEuler(), Ctrl: ode.DefaultController(1e-6, 1e-6), Validator: NewIBDC()}
+	in.Init(decay, 0, 2, la.Vec{1}, 0.01)
+	for _, ts := range []float64{0.5, 1.0, 1.7} {
+		if err := in.RunTo(ts); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(in.T()-ts) > 1e-12 {
+			t.Fatalf("RunTo landed at %g, want %g", in.T(), ts)
+		}
+		if e := math.Abs(in.X()[0] - math.Exp(-ts)); e > 1e-4 {
+			t.Fatalf("x(%g) error %g", ts, e)
+		}
+	}
+	if err := in.RunTo(5); err == nil {
+		t.Fatal("RunTo beyond tEnd should fail")
+	}
+}
+
+func TestPIControllerSmoothsAndConverges(t *testing.T) {
+	c := ode.DefaultController(1e-6, 1e-6)
+	// Same inputs: PI with no previous error matches the elementary law.
+	if a, b := c.PIStepSize(1, 0.5, 0, 2), c.NewStepSize(1, 0.5, 2); a != b {
+		t.Fatalf("PI fallback mismatch: %g vs %g", a, b)
+	}
+	// Steady error at the target: step factor near alpha (no oscillation).
+	got := c.PIStepSize(1, 1, 1, 2)
+	if math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("PI at steady SErr=1: %g, want 0.9", got)
+	}
+	// Rising error sequence shrinks the step more than falling one.
+	rising := c.PIStepSize(1, 0.8, 0.2, 2)
+	falling := c.PIStepSize(1, 0.8, 3.2, 2)
+	if !(rising < falling) {
+		t.Fatalf("PI damping direction wrong: rising=%g falling=%g", rising, falling)
+	}
+}
+
+func TestStrategyNamesAndTMRAccounting(t *testing.T) {
+	if (LIP{}).Name() != "lip" || (BDF{}).Name() != "bdf" {
+		t.Fatal("strategy names wrong")
+	}
+	if lo, hi := (BDF{QMax: 2}).OrderRange(); lo != 1 || hi != 2 {
+		t.Fatalf("BDF custom range [%d,%d]", lo, hi)
+	}
+	tmr := NewTMR(ode.HeunEuler(), decay)
+	if got := tmr.ExtraVectors(ode.HeunEuler()); got != 8 { // 2*(N_k+2)
+		t.Fatalf("TMR extra vectors = %d, want 8", got)
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import "repro/internal/ode"
+
+// Ensemble combines several validators: a step is accepted only when every
+// member accepts it. Combining LBDC and IBDC trades extra false positives
+// for the union of their detection patterns — the "different corruption
+// patterns" rationale of §V taken one step further.
+//
+// Every member sees every trial (so each one's false-positive
+// self-detection keeps working); the combined verdict is:
+//
+//   - Reject if any member rejects;
+//   - FPRescue if no member rejects and at least one rescued;
+//   - Accept otherwise.
+type Ensemble struct {
+	Members []ode.Validator
+	Stats   Stats
+}
+
+// NewEnsemble returns an ensemble over the given members.
+func NewEnsemble(members ...ode.Validator) *Ensemble {
+	return &Ensemble{Members: members}
+}
+
+// Validate implements ode.Validator.
+func (e *Ensemble) Validate(c *ode.CheckContext) ode.Verdict {
+	e.Stats.Checks++
+	verdict := ode.VerdictAccept
+	for _, m := range e.Members {
+		switch m.Validate(c) {
+		case ode.VerdictReject:
+			verdict = ode.VerdictReject
+		case ode.VerdictFPRescue:
+			if verdict == ode.VerdictAccept {
+				verdict = ode.VerdictFPRescue
+			}
+		}
+	}
+	switch verdict {
+	case ode.VerdictReject:
+		e.Stats.Rejections++
+	case ode.VerdictFPRescue:
+		e.Stats.FPRescues++
+	}
+	return verdict
+}

@@ -1,0 +1,173 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/la"
+	"repro/internal/mpi"
+	"repro/internal/weno"
+)
+
+// ParallelTridiag solves a block-distributed tridiagonal system — the
+// communication kernel that makes compact (CRWENO) reconstruction viable on
+// a cluster, where every line's tridiagonal system spans all ranks (the
+// parallel compact-scheme problem HyPar's CRWENO implementation solves).
+//
+// Each rank owns contiguous rows [lo, hi) of the global system
+//
+//	a_i x_{i-1} + b_i x_i + c_i x_{i+1} = d_i ,
+//
+// with a_0 and c_{n-1} ignored (non-periodic). The method is substructuring:
+// every rank expresses its block's solution as
+//
+//	x = xp + x_left * xl + x_right * xr
+//
+// via three local Thomas solves, where x_left/x_right are the neighbors'
+// boundary unknowns; the 2R interface unknowns form a small reduced system
+// gathered to every rank and solved redundantly with dense LU; local
+// back-substitution finishes. d is overwritten with the solution block.
+func ParallelTridiag(c *mpi.Comm, a, b, cc, d []float64) error {
+	nl := len(d)
+	if len(a) != nl || len(b) != nl || len(cc) != nl {
+		return fmt.Errorf("dist: ParallelTridiag band length mismatch")
+	}
+	R := c.Size()
+	if R == 1 {
+		la.TridiagSolve(a, b, cc, d, make([]float64, nl))
+		return nil
+	}
+	if nl < 2 {
+		return fmt.Errorf("dist: ParallelTridiag needs >= 2 rows per rank")
+	}
+	rank := c.Rank()
+
+	// Local solves: A_loc xp = d, A_loc xl = -a_0 e_0, A_loc xr = -c_last e_last.
+	scratch := make([]float64, nl)
+	xp := append([]float64(nil), d...)
+	la.TridiagSolve(a, b, cc, xp, scratch)
+	xl := make([]float64, nl)
+	xr := make([]float64, nl)
+	if rank > 0 {
+		xl[0] = -a[0]
+		la.TridiagSolve(a, b, cc, xl, scratch)
+	}
+	if rank < R-1 {
+		xr[nl-1] = -cc[nl-1]
+		la.TridiagSolve(a, b, cc, xr, scratch)
+	}
+
+	// Gather the six interface coefficients of every rank.
+	coef := [6]float64{xp[0], xp[nl-1], xl[0], xl[nl-1], xr[0], xr[nl-1]}
+	all := make([][]float64, 6)
+	for k := 0; k < 6; k++ {
+		all[k] = make([]float64, R)
+		c.Gather(coef[k], all[k])
+	}
+
+	// Reduced system over u = [first_0, last_0, first_1, last_1, ...]:
+	//   first_r - xl0_r*last_{r-1} - xr0_r*first_{r+1} = xp0_r
+	//   last_r  - xlL_r*last_{r-1} - xrL_r*first_{r+1} = xpL_r
+	m := 2 * R
+	A := make([]float64, m*m)
+	rhs := la.NewVec(m)
+	for r := 0; r < R; r++ {
+		fi, li := 2*r, 2*r+1
+		A[fi*m+fi] = 1
+		A[li*m+li] = 1
+		if r > 0 {
+			A[fi*m+(2*(r-1)+1)] = -all[2][r] // -xl0 * last_{r-1}
+			A[li*m+(2*(r-1)+1)] = -all[3][r] // -xlL * last_{r-1}
+		}
+		if r < R-1 {
+			A[fi*m+2*(r+1)] = -all[4][r] // -xr0 * first_{r+1}
+			A[li*m+2*(r+1)] = -all[5][r] // -xrL * first_{r+1}
+		}
+		rhs[fi] = all[0][r]
+		rhs[li] = all[1][r]
+	}
+	lu, err := la.NewLU(A, m)
+	if err != nil {
+		return fmt.Errorf("dist: reduced interface system singular: %w", err)
+	}
+	u := la.NewVec(m)
+	lu.Solve(rhs, u)
+
+	// Back-substitute with the neighbors' interface values.
+	var xLeft, xRight float64
+	if rank > 0 {
+		xLeft = u[2*(rank-1)+1]
+	}
+	if rank < R-1 {
+		xRight = u[2*(rank+1)]
+	}
+	for i := 0; i < nl; i++ {
+		d[i] = xp[i] + xLeft*xl[i] + xRight*xr[i]
+	}
+	return nil
+}
+
+// CrwenoDistributed reconstructs left-biased CRWENO5 interface values for a
+// block-distributed line: each rank owns interfaces [lo, hi) of the global
+// n+1 (the last rank also owns interface n), assembles its rows of the
+// compact system from halo-padded cell values, and the spanning tridiagonal
+// system is solved with ParallelTridiag — the full parallel compact-scheme
+// pipeline of HyPar's CRWENO implementation.
+//
+// pad holds the rank's cell values with weno.Ghost halo cells on each side
+// (already exchanged); fhat receives the rank's interface values.
+func CrwenoDistributed(c *mpi.Comm, pad []float64, nl int, firstRank, lastRank bool, fhat []float64) error {
+	g := weno.Ghost
+	if len(pad) != nl+2*g {
+		return fmt.Errorf("dist: CrwenoDistributed pad length %d != %d", len(pad), nl+2*g)
+	}
+	// Rows owned: interfaces local 0..rows-1 (global lo..), where a rank
+	// owns nl interfaces except the last, which owns nl+1.
+	rows := nl
+	if lastRank {
+		rows++
+	}
+	if len(fhat) != rows {
+		return fmt.Errorf("dist: CrwenoDistributed fhat length %d != %d", len(fhat), rows)
+	}
+	al := make([]float64, rows)
+	ad := make([]float64, rows)
+	au := make([]float64, rows)
+	rhs := make([]float64, rows)
+	var w5 weno.Weno5
+	for k := 0; k < rows; k++ {
+		j := k - 1 + g // upwind cell of local interface k in padded coords
+		m2, m1, cc, p1, p2 := pad[j-2], pad[j-1], pad[j], pad[j+1], pad[j+2]
+		b0, b1, b2 := weno.Smoothness(m2, m1, cc, p1, p2)
+		a0 := 0.2 / ((weno.Eps + b0) * (weno.Eps + b0))
+		a1 := 0.5 / ((weno.Eps + b1) * (weno.Eps + b1))
+		a2 := 0.3 / ((weno.Eps + b2) * (weno.Eps + b2))
+		s := a0 + a1 + a2
+		w0, w1, w2 := a0/s, a1/s, a2/s
+		al[k] = (2*w0 + w1) / 3
+		ad[k] = (w0 + 2*(w1+w2)) / 3
+		au[k] = w2 / 3
+		rhs[k] = w0/6*m1 + (5*(w0+w1)+w2)/6*cc + (w1+5*w2)/6*p1
+	}
+	// WENO5 identity closures at the global boundary interfaces.
+	closure := func(k int) float64 {
+		j := k - 1 + g
+		var mini [1 + 2*weno.Ghost]float64
+		copy(mini[1:2*weno.Ghost], pad[j-weno.Ghost+1:j+weno.Ghost])
+		var out [2]float64
+		w5.ReconstructLeft(out[:], mini[:])
+		return out[1]
+	}
+	if firstRank {
+		al[0], ad[0], au[0] = 0, 1, 0
+		rhs[0] = closure(0)
+	}
+	if lastRank {
+		al[rows-1], ad[rows-1], au[rows-1] = 0, 1, 0
+		rhs[rows-1] = closure(rows - 1)
+	}
+	if err := ParallelTridiag(c, al, ad, au, rhs); err != nil {
+		return err
+	}
+	copy(fhat, rhs)
+	return nil
+}

@@ -1,0 +1,169 @@
+// Package euler implements the compressible Euler equations with gravity —
+// the governing equations of the paper's rising-thermal-bubble use case —
+// in a well-balanced perturbation formulation: the conserved variables are
+// stored as deviations from a hydrostatically balanced, constant-potential-
+// temperature background, so the balanced atmosphere is an exact discrete
+// steady state of the flux-differencing scheme (the property Ghosh &
+// Constantinescu's well-balanced formulation provides in HyPar).
+//
+// Variables per point (d active dimensions): [rho', m_1..m_d, E'] where
+// rho' = rho - rhoBar(z), m_i = rho*u_i (full momentum; the background is
+// at rest), and E' = E - EBar(z).
+package euler
+
+import "math"
+
+// Gas collects the thermodynamic and gravitational constants. The defaults
+// (via DefaultGas) are dry air with Earth gravity, the standard
+// nonhydrostatic atmosphere benchmark setting.
+type Gas struct {
+	Gamma  float64 // ratio of specific heats (1.4)
+	R      float64 // gas constant (287 J/kg/K)
+	G      float64 // gravitational acceleration (9.81 m/s^2)
+	P0     float64 // reference surface pressure (1e5 Pa)
+	Theta0 float64 // background potential temperature (300 K)
+}
+
+// DefaultGas returns the standard dry-air constants.
+func DefaultGas() Gas {
+	return Gas{Gamma: 1.4, R: 287.0, G: 9.81, P0: 1e5, Theta0: 300.0}
+}
+
+// Cp returns the specific heat at constant pressure.
+func (g Gas) Cp() float64 { return g.Gamma * g.R / (g.Gamma - 1) }
+
+// Background returns the hydrostatically balanced state at height z for a
+// constant potential temperature Theta0: Exner pressure
+// pi = 1 - G z / (Cp Theta0), p = P0 pi^(Cp/R), T = Theta0 pi,
+// rho = p / (R T), E = p / (gamma - 1) (the background is at rest).
+func (g Gas) Background(z float64) (rho, p, e float64) {
+	pi := 1 - g.G*z/(g.Cp()*g.Theta0)
+	p = g.P0 * math.Pow(pi, g.Cp()/g.R)
+	t := g.Theta0 * pi
+	rho = p / (g.R * t)
+	e = p / (g.Gamma - 1)
+	return
+}
+
+// SoundSpeed returns sqrt(gamma p / rho).
+func (g Gas) SoundSpeed(p, rho float64) float64 {
+	return math.Sqrt(g.Gamma * p / rho)
+}
+
+// Pressure returns p from full density, momentum, and total energy.
+func (g Gas) Pressure(rho float64, m []float64, e float64) float64 {
+	var ke float64
+	for _, mi := range m {
+		ke += mi * mi
+	}
+	ke /= 2 * rho
+	return (g.Gamma - 1) * (e - ke)
+}
+
+// Point is the full (background + perturbation) state at one grid point,
+// unpacked for flux evaluation.
+type Point struct {
+	Rho float64    // full density
+	M   [3]float64 // full momentum components (active dims only)
+	E   float64    // full total energy
+	P   float64    // full pressure
+	PP  float64    // pressure perturbation p' = p - pBar(z)
+}
+
+// Unpack assembles the full state from perturbation variables q
+// (rho', m_1..m_d, E') and the background (rhoBar, pBar, eBar).
+func (g Gas) Unpack(q []float64, d int, rhoBar, pBar, eBar float64) Point {
+	var pt Point
+	pt.Rho = rhoBar + q[0]
+	for i := 0; i < d; i++ {
+		pt.M[i] = q[1+i]
+	}
+	pt.E = eBar + q[1+d]
+	pt.P = g.Pressure(pt.Rho, pt.M[:d], pt.E)
+	pt.PP = pt.P - pBar
+	return pt
+}
+
+// Flux computes the perturbation-form flux along axis ax into dst
+// (len d+2): [rho u_a, (m_i u_a + delta_{ia} p')_i, (E + p) u_a].
+// The background pressure gradient is cancelled analytically against the
+// hydrostatic source, which is what keeps the scheme well balanced.
+func Flux(pt Point, d, ax int, dst []float64) {
+	ua := pt.M[ax] / pt.Rho
+	dst[0] = pt.M[ax]
+	for i := 0; i < d; i++ {
+		dst[1+i] = pt.M[i] * ua
+	}
+	dst[1+ax] += pt.PP
+	dst[1+d] = (pt.E + pt.P) * ua
+}
+
+// MaxWave returns |u_ax| + c for the point, the Rusanov splitting speed.
+func (g Gas) MaxWave(pt Point, ax int) float64 {
+	return math.Abs(pt.M[ax]/pt.Rho) + g.SoundSpeed(pt.P, pt.Rho)
+}
+
+// BubbleSpec describes the warm-bubble perturbation: a cosine-shaped
+// potential-temperature anomaly of amplitude DTheta within radius Rc of the
+// center, at unchanged pressure (Giraldo & Restelli 2008; the paper's
+// Figure 2 case).
+type BubbleSpec struct {
+	Center [3]float64
+	Rc     float64
+	DTheta float64
+}
+
+// DefaultBubble returns the standard 2-D bubble: center (500, 350) m,
+// radius 250 m, amplitude 0.5 K, for a 1000 m square domain with axis 1
+// vertical.
+func DefaultBubble() BubbleSpec {
+	return BubbleSpec{Center: [3]float64{500, 350, 0}, Rc: 250, DTheta: 0.5}
+}
+
+// ThetaPerturbation returns theta' at position x (active coords filled).
+func (b BubbleSpec) ThetaPerturbation(x [3]float64, d int) float64 {
+	var r2 float64
+	for i := 0; i < d; i++ {
+		dd := x[i] - b.Center[i]
+		r2 += dd * dd
+	}
+	r := math.Sqrt(r2)
+	if r >= b.Rc {
+		return 0
+	}
+	return b.DTheta / 2 * (1 + math.Cos(math.Pi*r/b.Rc))
+}
+
+// InitialPerturbation returns the perturbation conserved variables
+// (rho', m..., E') at position x with vertical coordinate z, for a bubble
+// at rest at unchanged pressure: T = (Theta0+theta') * pi(z),
+// rho = pBar / (R T), E = pBar/(gamma-1) (zero kinetic energy), so
+// E' = 0 and only rho' is nonzero.
+func (g Gas) InitialPerturbation(b BubbleSpec, x [3]float64, z float64, d int, q []float64) {
+	rhoBar, pBar, _ := g.Background(z)
+	thetaP := b.ThetaPerturbation(x, d)
+	for i := range q {
+		q[i] = 0
+	}
+	if thetaP == 0 {
+		return
+	}
+	pi := 1 - g.G*z/(g.Cp()*g.Theta0)
+	t := (g.Theta0 + thetaP) * pi
+	rho := pBar / (g.R * t)
+	q[0] = rho - rhoBar
+}
+
+// Theta returns the potential temperature of the full state
+// theta = T (P0/p)^(R/Cp) — the conserved tracer atmospheric plots use;
+// the bubble is a theta' anomaly, so diagnostics in theta show it most
+// cleanly.
+func (g Gas) Theta(pt Point) float64 {
+	t := pt.P / (g.R * pt.Rho)
+	return t * math.Pow(g.P0/pt.P, g.R/g.Cp())
+}
+
+// ThetaPerturbationOf returns theta - Theta0 for the full state.
+func (g Gas) ThetaPerturbationOf(pt Point) float64 {
+	return g.Theta(pt) - g.Theta0
+}

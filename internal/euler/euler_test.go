@@ -1,0 +1,180 @@
+package euler
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBackgroundSurface(t *testing.T) {
+	g := DefaultGas()
+	rho, p, e := g.Background(0)
+	if math.Abs(p-1e5) > 1e-9 {
+		t.Fatalf("surface pressure %g", p)
+	}
+	wantRho := 1e5 / (287.0 * 300.0)
+	if math.Abs(rho-wantRho) > 1e-12 {
+		t.Fatalf("surface density %g, want %g", rho, wantRho)
+	}
+	if math.Abs(e-p/0.4) > 1e-9 {
+		t.Fatalf("surface energy %g", e)
+	}
+}
+
+func TestBackgroundHydrostaticBalance(t *testing.T) {
+	// dp/dz = -rho*g, verified with central differences.
+	g := DefaultGas()
+	for _, z := range []float64{100, 500, 900} {
+		dz := 0.01
+		_, pU, _ := g.Background(z + dz)
+		_, pD, _ := g.Background(z - dz)
+		rho, _, _ := g.Background(z)
+		dpdz := (pU - pD) / (2 * dz)
+		if math.Abs(dpdz+rho*g.G) > 1e-4*rho*g.G {
+			t.Fatalf("z=%g: dp/dz = %g, want %g", z, dpdz, -rho*g.G)
+		}
+	}
+}
+
+func TestBackgroundDecreasesWithHeight(t *testing.T) {
+	g := DefaultGas()
+	r0, p0, _ := g.Background(0)
+	r1, p1, _ := g.Background(1000)
+	if !(p1 < p0 && r1 < r0) {
+		t.Fatalf("background not decreasing: p %g->%g rho %g->%g", p0, p1, r0, r1)
+	}
+}
+
+func TestSoundSpeedAir(t *testing.T) {
+	g := DefaultGas()
+	rho, p, _ := g.Background(0)
+	c := g.SoundSpeed(p, rho)
+	// ~347 m/s at 300 K.
+	if c < 340 || c < 0 || c > 355 {
+		t.Fatalf("sound speed %g", c)
+	}
+}
+
+func TestPressureRoundTrip(t *testing.T) {
+	g := DefaultGas()
+	rho := 1.2
+	m := []float64{12, -6}
+	p := 90000.0
+	ke := (12.0*12 + 6.0*6) / (2 * rho)
+	e := p/(g.Gamma-1) + ke
+	if got := g.Pressure(rho, m, e); math.Abs(got-p) > 1e-9 {
+		t.Fatalf("pressure %g, want %g", got, p)
+	}
+}
+
+func TestUnpackAndFluxAtRest(t *testing.T) {
+	// Zero perturbation: fluxes are identically zero (well-balancedness).
+	g := DefaultGas()
+	rhoBar, pBar, eBar := g.Background(400)
+	q := []float64{0, 0, 0, 0}
+	pt := g.Unpack(q, 2, rhoBar, pBar, eBar)
+	if math.Abs(pt.PP) > 1e-9 || pt.M[0] != 0 || pt.M[1] != 0 {
+		t.Fatalf("rest state not clean: %+v", pt)
+	}
+	f := make([]float64, 4)
+	for ax := 0; ax < 2; ax++ {
+		Flux(pt, 2, ax, f)
+		for v, fv := range f {
+			if math.Abs(fv) > 1e-9 {
+				t.Fatalf("axis %d flux[%d] = %g at rest", ax, v, fv)
+			}
+		}
+	}
+}
+
+func TestFluxMatchesStandardEuler(t *testing.T) {
+	// With a zero background the perturbation flux is the textbook Euler
+	// flux.
+	g := DefaultGas()
+	rho, u, v, p := 1.3, 20.0, -5.0, 8e4
+	e := p/(g.Gamma-1) + 0.5*rho*(u*u+v*v)
+	q := []float64{rho, rho * u, rho * v, e}
+	pt := g.Unpack(q, 2, 0, 0, 0)
+	f := make([]float64, 4)
+	Flux(pt, 2, 0, f)
+	want := []float64{rho * u, rho*u*u + p, rho * u * v, (e + p) * u}
+	for i := range want {
+		if math.Abs(f[i]-want[i]) > 1e-7*math.Abs(want[i])+1e-12 {
+			t.Fatalf("flux[%d] = %g, want %g", i, f[i], want[i])
+		}
+	}
+	if w := g.MaxWave(pt, 0); math.Abs(w-(math.Abs(u)+g.SoundSpeed(p, rho))) > 1e-9 {
+		t.Fatalf("MaxWave = %g", w)
+	}
+}
+
+func TestBubblePerturbationShape(t *testing.T) {
+	b := DefaultBubble()
+	if got := b.ThetaPerturbation([3]float64{500, 350, 0}, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("center theta' = %g, want 0.5", got)
+	}
+	if got := b.ThetaPerturbation([3]float64{500, 350 + 250, 0}, 2); got != 0 {
+		t.Fatalf("edge theta' = %g, want 0", got)
+	}
+	if got := b.ThetaPerturbation([3]float64{0, 0, 0}, 2); got != 0 {
+		t.Fatalf("far theta' = %g, want 0", got)
+	}
+	mid := b.ThetaPerturbation([3]float64{500, 350 + 125, 0}, 2)
+	if math.Abs(mid-0.25) > 1e-12 {
+		t.Fatalf("half-radius theta' = %g, want 0.25", mid)
+	}
+}
+
+func TestInitialPerturbationBuoyancySign(t *testing.T) {
+	// A warm bubble is lighter: rho' < 0 inside, 0 outside, E' = 0.
+	g := DefaultGas()
+	b := DefaultBubble()
+	q := make([]float64, 4)
+	g.InitialPerturbation(b, [3]float64{500, 350, 0}, 350, 2, q)
+	if q[0] >= 0 {
+		t.Fatalf("rho' = %g, want < 0 inside bubble", q[0])
+	}
+	if q[1] != 0 || q[2] != 0 || q[3] != 0 {
+		t.Fatalf("momenta/energy not zero: %v", q)
+	}
+	// Magnitude ~ rhoBar * dTheta / Theta0.
+	rhoBar, _, _ := g.Background(350)
+	want := -rhoBar * 0.5 / 300.5
+	if math.Abs(q[0]-want) > 0.1*math.Abs(want) {
+		t.Fatalf("rho' = %g, want ~%g", q[0], want)
+	}
+	g.InitialPerturbation(b, [3]float64{0, 0, 0}, 0, 2, q)
+	for i, v := range q {
+		if v != 0 {
+			t.Fatalf("outside bubble q[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestThetaOfBackgroundIsTheta0(t *testing.T) {
+	g := DefaultGas()
+	for _, z := range []float64{0, 250, 700} {
+		rho, p, e := g.Background(z)
+		pt := g.Unpack([]float64{0, 0, 0, 0}, 2, rho, p, e)
+		if got := g.Theta(pt); math.Abs(got-300) > 1e-9 {
+			t.Fatalf("theta(z=%g) = %g, want 300", z, got)
+		}
+		if d := g.ThetaPerturbationOf(pt); math.Abs(d) > 1e-9 {
+			t.Fatalf("theta'(z=%g) = %g", z, d)
+		}
+	}
+}
+
+func TestThetaRecoversBubbleAmplitude(t *testing.T) {
+	// Initializing with theta' = 0.5 K at the center must read back as
+	// theta' ~ 0.5 K through the diagnostic.
+	g := DefaultGas()
+	b := DefaultBubble()
+	q := make([]float64, 4)
+	z := 350.0
+	g.InitialPerturbation(b, [3]float64{500, 350, 0}, z, 2, q)
+	rho, p, e := g.Background(z)
+	pt := g.Unpack(q, 2, rho, p, e)
+	if got := g.ThetaPerturbationOf(pt); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("recovered theta' = %g, want ~0.5", got)
+	}
+}

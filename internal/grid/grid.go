@@ -1,0 +1,160 @@
+// Package grid provides structured Cartesian grids with ghost layers for
+// the finite-difference PDE substrate: multi-dimensional indexing, line
+// iteration for dimension-by-dimension WENO sweeps, and block domain
+// decomposition for the simulated-cluster scaling experiments.
+package grid
+
+import "fmt"
+
+// Grid is an equispaced Cartesian grid of up to three dimensions. Axes with
+// size 1 are inactive (a 2-D grid is {nx, ny, 1}). Field data is stored
+// without ghosts; ghost handling happens in line buffers during sweeps.
+type Grid struct {
+	N      [3]int     // points per axis (>= 1)
+	Origin [3]float64 // coordinate of the first point center
+	Dx     [3]float64 // spacing per axis (ignored for inactive axes)
+}
+
+// New2D returns an nx-by-ny grid covering [0,Lx]x[0,Ly] with cell-centered
+// points.
+func New2D(nx, ny int, lx, ly float64) *Grid {
+	dx, dy := lx/float64(nx), ly/float64(ny)
+	return &Grid{
+		N:      [3]int{nx, ny, 1},
+		Origin: [3]float64{dx / 2, dy / 2, 0},
+		Dx:     [3]float64{dx, dy, 1},
+	}
+}
+
+// New3D returns an nx-by-ny-by-nz grid covering [0,Lx]x[0,Ly]x[0,Lz].
+func New3D(nx, ny, nz int, lx, ly, lz float64) *Grid {
+	dx, dy, dz := lx/float64(nx), ly/float64(ny), lz/float64(nz)
+	return &Grid{
+		N:      [3]int{nx, ny, nz},
+		Origin: [3]float64{dx / 2, dy / 2, dz / 2},
+		Dx:     [3]float64{dx, dy, dz},
+	}
+}
+
+// Points returns the total number of grid points.
+func (g *Grid) Points() int { return g.N[0] * g.N[1] * g.N[2] }
+
+// Index maps (i, j, k) to the flat offset (x fastest).
+func (g *Grid) Index(i, j, k int) int {
+	return i + g.N[0]*(j+g.N[1]*k)
+}
+
+// Coord returns the physical coordinate of point (i, j, k) on axis ax.
+func (g *Grid) Coord(ax, idx int) float64 {
+	return g.Origin[ax] + float64(idx)*g.Dx[ax]
+}
+
+// Active reports whether an axis has more than one point.
+func (g *Grid) Active(ax int) bool { return g.N[ax] > 1 }
+
+// ActiveAxes returns the list of axes with more than one point.
+func (g *Grid) ActiveAxes() []int {
+	var axes []int
+	for ax := 0; ax < 3; ax++ {
+		if g.Active(ax) {
+			axes = append(axes, ax)
+		}
+	}
+	return axes
+}
+
+// Line identifies a 1-D pencil along axis Ax at transverse position (J, K):
+// the set of points whose transverse coordinates match. Start is the flat
+// index of the first point and Stride the flat step along the axis.
+type Line struct {
+	Ax     int
+	Start  int
+	Stride int
+	Len    int
+}
+
+// Lines appends all pencils along axis ax to dst.
+func (g *Grid) Lines(ax int, dst []Line) []Line {
+	if ax < 0 || ax > 2 {
+		panic(fmt.Sprintf("grid: bad axis %d", ax))
+	}
+	strides := [3]int{1, g.N[0], g.N[0] * g.N[1]}
+	o1, o2 := (ax+1)%3, (ax+2)%3
+	for b := 0; b < g.N[o2]; b++ {
+		for a := 0; a < g.N[o1]; a++ {
+			start := strides[o1]*a + strides[o2]*b
+			dst = append(dst, Line{Ax: ax, Start: start, Stride: strides[ax], Len: g.N[ax]})
+		}
+	}
+	return dst
+}
+
+// Gather copies the line's values from the flat field into dst (interior
+// only; callers add ghosts).
+func (l Line) Gather(field, dst []float64) {
+	if len(dst) < l.Len {
+		panic("grid: Gather dst too small")
+	}
+	idx := l.Start
+	for i := 0; i < l.Len; i++ {
+		dst[i] = field[idx]
+		idx += l.Stride
+	}
+}
+
+// Scatter writes dst's first Len values back to the flat field along the
+// line.
+func (l Line) Scatter(src, field []float64) {
+	idx := l.Start
+	for i := 0; i < l.Len; i++ {
+		field[idx] = src[i]
+		idx += l.Stride
+	}
+}
+
+// ScatterAdd accumulates src into the flat field along the line.
+func (l Line) ScatterAdd(src, field []float64) {
+	idx := l.Start
+	for i := 0; i < l.Len; i++ {
+		field[idx] += src[i]
+		idx += l.Stride
+	}
+}
+
+// Decompose splits n points into parts nearly equal blocks and returns the
+// start index of each block plus the total (a prefix array of length
+// parts+1).
+func Decompose(n, parts int) []int {
+	if parts < 1 {
+		panic("grid: Decompose needs parts >= 1")
+	}
+	bounds := make([]int, parts+1)
+	for p := 0; p <= parts; p++ {
+		bounds[p] = p * n / parts
+	}
+	return bounds
+}
+
+// BlockDecompose2D splits an nx-by-ny grid over px-by-py ranks and returns
+// each rank's (x0, x1, y0, y1) bounds, rank-major in x.
+func BlockDecompose2D(nx, ny, px, py int) [][4]int {
+	bx := Decompose(nx, px)
+	by := Decompose(ny, py)
+	out := make([][4]int, 0, px*py)
+	for j := 0; j < py; j++ {
+		for i := 0; i < px; i++ {
+			out = append(out, [4]int{bx[i], bx[i+1], by[j], by[j+1]})
+		}
+	}
+	return out
+}
+
+// New1D returns an n-point grid covering [0, L] with cell-centered points.
+func New1D(n int, l float64) *Grid {
+	dx := l / float64(n)
+	return &Grid{
+		N:      [3]int{n, 1, 1},
+		Origin: [3]float64{dx / 2, 0, 0},
+		Dx:     [3]float64{dx, 1, 1},
+	}
+}

@@ -1,0 +1,135 @@
+package grid
+
+import "testing"
+
+func TestNew2DBasics(t *testing.T) {
+	g := New2D(8, 4, 800, 400)
+	if g.Points() != 32 {
+		t.Fatalf("Points = %d", g.Points())
+	}
+	if g.Dx[0] != 100 || g.Dx[1] != 100 {
+		t.Fatalf("Dx = %v", g.Dx)
+	}
+	if g.Coord(0, 0) != 50 || g.Coord(1, 3) != 350 {
+		t.Fatalf("coords wrong: %g %g", g.Coord(0, 0), g.Coord(1, 3))
+	}
+	if !g.Active(0) || !g.Active(1) || g.Active(2) {
+		t.Fatal("active axes wrong")
+	}
+	axes := g.ActiveAxes()
+	if len(axes) != 2 || axes[0] != 0 || axes[1] != 1 {
+		t.Fatalf("ActiveAxes = %v", axes)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	g := New3D(3, 4, 5, 1, 1, 1)
+	seen := map[int]bool{}
+	for k := 0; k < 5; k++ {
+		for j := 0; j < 4; j++ {
+			for i := 0; i < 3; i++ {
+				idx := g.Index(i, j, k)
+				if idx < 0 || idx >= g.Points() || seen[idx] {
+					t.Fatalf("bad index %d for (%d,%d,%d)", idx, i, j, k)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+}
+
+func TestLinesCoverGridExactlyOnce(t *testing.T) {
+	g := New3D(4, 3, 2, 1, 1, 1)
+	for ax := 0; ax < 3; ax++ {
+		lines := g.Lines(ax, nil)
+		count := make([]int, g.Points())
+		for _, l := range lines {
+			if l.Len != g.N[ax] {
+				t.Fatalf("axis %d line len %d, want %d", ax, l.Len, g.N[ax])
+			}
+			idx := l.Start
+			for i := 0; i < l.Len; i++ {
+				count[idx]++
+				idx += l.Stride
+			}
+		}
+		for p, c := range count {
+			if c != 1 {
+				t.Fatalf("axis %d: point %d covered %d times", ax, p, c)
+			}
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	g := New2D(4, 3, 1, 1)
+	field := make([]float64, g.Points())
+	for i := range field {
+		field[i] = float64(i)
+	}
+	for _, ax := range []int{0, 1} {
+		for _, l := range g.Lines(ax, nil) {
+			buf := make([]float64, l.Len)
+			l.Gather(field, buf)
+			out := make([]float64, g.Points())
+			copy(out, field)
+			l.Scatter(buf, out)
+			for i := range field {
+				if out[i] != field[i] {
+					t.Fatalf("round trip changed field at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestScatterAdd(t *testing.T) {
+	g := New2D(3, 1, 1, 1)
+	field := []float64{1, 2, 3}
+	l := g.Lines(0, nil)[0]
+	l.ScatterAdd([]float64{10, 20, 30}, field)
+	if field[0] != 11 || field[1] != 22 || field[2] != 33 {
+		t.Fatalf("ScatterAdd: %v", field)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	b := Decompose(10, 3)
+	if b[0] != 0 || b[3] != 10 {
+		t.Fatalf("bounds %v", b)
+	}
+	total := 0
+	for p := 0; p < 3; p++ {
+		size := b[p+1] - b[p]
+		if size < 3 || size > 4 {
+			t.Fatalf("unbalanced: %v", b)
+		}
+		total += size
+	}
+	if total != 10 {
+		t.Fatalf("total %d", total)
+	}
+}
+
+func TestBlockDecompose2D(t *testing.T) {
+	blocks := BlockDecompose2D(8, 8, 2, 2)
+	if len(blocks) != 4 {
+		t.Fatalf("blocks: %v", blocks)
+	}
+	area := 0
+	for _, b := range blocks {
+		area += (b[1] - b[0]) * (b[3] - b[2])
+	}
+	if area != 64 {
+		t.Fatalf("blocks don't tile the grid: %v", blocks)
+	}
+}
+
+func TestBadAxisPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New2D(2, 2, 1, 1).Lines(3, nil)
+}

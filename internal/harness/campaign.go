@@ -1,0 +1,376 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/la"
+	"repro/internal/ode"
+	"repro/internal/problems"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// DetectorKind selects which protection mechanism guards the solver.
+type DetectorKind string
+
+// The detector kinds of the evaluation: the classic adaptive controller
+// alone, the paper's two double-checking strategies, and the redundancy
+// baselines.
+const (
+	Classic     DetectorKind = "classic"
+	LBDC        DetectorKind = "lbdc"
+	IBDC        DetectorKind = "ibdc"
+	Replication DetectorKind = "replication"
+	TMR         DetectorKind = "tmr"
+	Richardson  DetectorKind = "richardson"
+	// Oracle rejects exactly the significantly corrupted steps (it compares
+	// against a clean recomputation like the harness's ground truth): the
+	// unreachable ideal detector, useful as the upper bound in comparisons.
+	Oracle DetectorKind = "oracle"
+)
+
+// AllDetectors lists every adaptive-solver detector kind.
+func AllDetectors() []DetectorKind {
+	return []DetectorKind{Classic, LBDC, IBDC, Replication, TMR, Richardson, Oracle}
+}
+
+// Config describes one campaign cell: a problem, an embedded pair, an
+// injector, and a detector.
+type Config struct {
+	Problem    *problems.Problem
+	Tab        *ode.Tableau
+	Injector   inject.Injector
+	InjectProb float64 // per function evaluation; 0 means the paper's 1/100
+	Detector   DetectorKind
+	Seed       uint64
+
+	// MinInjections keeps restarting the integration (with fresh
+	// substreams) until at least this many SDCs have been applied
+	// (0 = 1000). The paper uses >= 10000 per experiment.
+	MinInjections int
+	// MaxRuns bounds the number of restarts (0 = 10000).
+	MaxRuns int
+	// NoAdapt disables Algorithm 1's order adaptation (ablation).
+	NoAdapt bool
+	// FixedOrder, when > 0, pins the double-checking order to FixedOrder-1
+	// (i.e. pass q+1; 0 means the strategy default). Use with NoAdapt.
+	FixedOrder int
+	// MaxNorm switches the controller to the q = infinity scaled error.
+	MaxNorm bool
+	// NoReuseFirstStage disables FSAL/FProp reuse (ablation).
+	NoReuseFirstStage bool
+	// StateProb additionally corrupts the solution vector as read by a
+	// trial with this per-step probability (the paper's §V-D scenario,
+	// where the classic estimate is provably blind). 0 disables it.
+	StateProb float64
+	// Field, when non-nil, confines stage injections to one component range
+	// (per-variable vulnerability studies on field-blocked PDE states).
+	Field *inject.FieldSelective
+}
+
+func (c *Config) injectProb() float64 {
+	if c.InjectProb == 0 {
+		return 0.01
+	}
+	return c.InjectProb
+}
+
+// Result aggregates a campaign cell's outcome.
+type Result struct {
+	Rates       Rates
+	Steps       int
+	TrialSteps  int
+	Evals       int64 // all RHS evaluations including detector redundancy
+	WallSeconds float64
+	MeanOrder   float64 // mean double-checking order (LBDC/IBDC only)
+	MemVectors  float64 // detector's persistent extra vectors (mean)
+}
+
+// detectorInstance couples a validator with its post-run accounting.
+type detectorInstance struct {
+	validator ode.Validator
+	memVecs   func() float64
+	meanOrder func() float64
+}
+
+func makeDetector(kind DetectorKind, tab *ode.Tableau, sys ode.System, plan *inject.Plan, cfg *Config) (detectorInstance, error) {
+	none := func() float64 { return 0 }
+	noAdapt := cfg.NoAdapt
+	pin := func(d *core.DoubleCheck) {
+		if cfg.FixedOrder > 0 {
+			d.SetOrder(cfg.FixedOrder - 1)
+		}
+	}
+	switch kind {
+	case Classic:
+		return detectorInstance{nil, none, none}, nil
+	case LBDC:
+		d := core.NewLBDC()
+		d.NoAdapt = noAdapt
+		pin(d)
+		return detectorInstance{
+			validator: d,
+			// Order-q LIP keeps q solutions beyond x_{n-1} plus the scratch.
+			memVecs:   func() float64 { return d.Stats.MeanOrder() + 1 },
+			meanOrder: func() float64 { return d.Stats.MeanOrder() },
+		}, nil
+	case IBDC:
+		d := core.NewIBDC()
+		d.NoAdapt = noAdapt
+		pin(d)
+		return detectorInstance{
+			validator: d,
+			// Order-q BDF keeps q-1 solutions beyond x_{n-1} plus scratch.
+			memVecs:   func() float64 { return math.Max(0, d.Stats.MeanOrder()-1) + 1 },
+			meanOrder: func() float64 { return d.Stats.MeanOrder() },
+		}, nil
+	case Replication:
+		d := core.NewReplication(tab, sys)
+		d.Quiesce = plan.Pause
+		return detectorInstance{
+			validator: d,
+			memVecs:   func() float64 { return float64(tab.Stages() + 2) },
+			meanOrder: none,
+		}, nil
+	case TMR:
+		d := core.NewTMR(tab, sys)
+		d.Quiesce = plan.Pause
+		return detectorInstance{
+			validator: d,
+			memVecs:   func() float64 { return float64(2 * (tab.Stages() + 2)) },
+			meanOrder: none,
+		}, nil
+	case Richardson:
+		d := core.NewRichardson(tab, sys)
+		d.Quiesce = plan.Pause
+		return detectorInstance{
+			validator: d,
+			memVecs:   func() float64 { return 2 }, // midpoint + replica proposal
+			meanOrder: none,
+		}, nil
+	case Oracle:
+		// Constructed by Run, which owns the clean shadow machinery.
+		return detectorInstance{nil, none, none}, nil
+	}
+	return detectorInstance{}, fmt.Errorf("harness: unknown detector %q", kind)
+}
+
+// Run executes the campaign cell until MinInjections SDCs have been applied.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Problem == nil || cfg.Tab == nil || cfg.Injector == nil {
+		return nil, fmt.Errorf("harness: Problem, Tab and Injector are required")
+	}
+	minInj := cfg.MinInjections
+	if minInj == 0 {
+		minInj = 1000
+	}
+	maxRuns := cfg.MaxRuns
+	if maxRuns == 0 {
+		maxRuns = 10000
+	}
+
+	p := cfg.Problem
+	res := &Result{}
+	root := xrand.New(cfg.Seed ^ 0xc0ffee)
+	start := time.Now()
+
+	var memSum, memN float64
+	for rep := 0; rep < maxRuns && res.Rates.Injections < minInj; rep++ {
+		plan := inject.NewPlan(root.Split(uint64(rep)), cfg.Injector)
+		plan.Prob = cfg.injectProb()
+		var statePlan *inject.Plan
+		if cfg.StateProb > 0 {
+			statePlan = inject.NewPlan(root.Split(uint64(rep)^0x517a7e), cfg.Injector)
+			statePlan.Prob = cfg.StateProb
+		}
+
+		counting := &ode.CountingSystem{Sys: p.Sys}
+		det, err := makeDetector(cfg.Detector, cfg.Tab, counting, plan, &cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		ctrl := ode.DefaultController(p.TolA, p.TolR)
+		ctrl.MaxNorm = cfg.MaxNorm
+		hook := ode.StageHook(plan.Hook)
+		if cfg.Field != nil {
+			sel := *cfg.Field
+			sel.Inner = cfg.Injector
+			hook = plan.HookFor(sel)
+		}
+		in := &ode.Integrator{
+			Tab:               cfg.Tab,
+			Ctrl:              ctrl,
+			Validator:         det.validator,
+			Hook:              hook,
+			NoReuseFirstStage: cfg.NoReuseFirstStage,
+			MaxSteps:          1 << 18,
+			MaxStep:           p.MaxStep,
+		}
+		if statePlan != nil {
+			in.StateHook = statePlan.StateHook
+		}
+
+		shadow := ode.NewStepper(cfg.Tab, p.Sys) // clean reference, uncounted
+		cw := la.NewVec(p.Sys.Dim())             // clean weights
+		xt := la.NewVec(p.Sys.Dim())             // clean approximation solution
+
+		if cfg.Detector == Oracle {
+			oxt := la.NewVec(p.Sys.Dim())
+			ocw := la.NewVec(p.Sys.Dim())
+			oshadow := ode.NewStepper(cfg.Tab, p.Sys)
+			in.Validator = oracleValidator(func(c *ode.CheckContext) bool {
+				restore := plan.Pause()
+				clean := oshadow.Trial(c.T, c.H, c.XStored, nil, nil)
+				restore()
+				oxt.CopyFrom(clean.XProp)
+				oxt.Sub(clean.ErrVec)
+				ctrl.Weights(ocw, clean.XProp)
+				return c.XProp.HasNaNOrInf() || ctrl.ScaledDiff(c.XProp, oxt, ocw) > 1
+			})
+		}
+
+		in.OnTrial = func(tr *ode.Trial) {
+			rejected := tr.ClassicReject || tr.ValidatorReject
+			corrupted := tr.Injections > 0 || tr.StateInjections > 0 || tr.InheritedCorruption
+			if !corrupted {
+				res.Rates.CleanTrials++
+				if rejected {
+					res.Rates.CleanRejected++
+				}
+				return
+			}
+			res.Rates.CorruptTrials++
+			res.Rates.Injections += tr.Injections + tr.StateInjections
+			if tr.InheritedCorruption && tr.Injections == 0 {
+				// Corruption carried over from the previous step's reused
+				// stage; it was already counted there as an injection.
+			}
+			if rejected {
+				res.Rates.CorruptRejected++
+			}
+			// Significance: recompute the step cleanly (from the clean stored
+			// state — XStart is never the corrupted transient copy) and
+			// measure the real scaled LTE of the corrupted solution against
+			// the clean approximation solution (§IV-A).
+			restore := plan.Pause()
+			clean := shadow.Trial(tr.T, tr.H, tr.XStart, nil, nil)
+			restore()
+			xt.CopyFrom(clean.XProp)
+			xt.Sub(clean.ErrVec) // x~ = x - (x - x~)
+			ctrl.Weights(cw, clean.XProp)
+			significant := tr.XProp.HasNaNOrInf() || ctrl.ScaledDiff(tr.XProp, xt, cw) > 1
+			if significant {
+				res.Rates.SigTrials++
+				if !rejected {
+					res.Rates.SigAccepted++
+				}
+			}
+		}
+
+		in.Init(counting, p.T0, p.TEnd, p.X0, p.H0)
+		if _, err := in.Run(); err != nil {
+			res.Rates.Diverged++
+		}
+		res.Rates.Runs++
+		res.Steps += in.Stats.Steps
+		res.TrialSteps += in.Stats.TrialSteps
+		res.Evals += counting.Evals
+		memSum += det.memVecs()
+		memN++
+		res.MeanOrder = det.meanOrder()
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	if memN > 0 {
+		res.MemVectors = memSum / memN
+	}
+	return res, nil
+}
+
+// oracleValidator adapts a significance predicate to ode.Validator.
+type oracleValidator func(*ode.CheckContext) bool
+
+// Validate implements ode.Validator.
+func (f oracleValidator) Validate(c *ode.CheckContext) ode.Verdict {
+	if f(c) {
+		return ode.VerdictReject
+	}
+	return ode.VerdictAccept
+}
+
+// CleanRun integrates the problem once without injection and detection and
+// returns the evaluation count and wall time — the overhead baseline.
+func CleanRun(p *problems.Problem, tab *ode.Tableau) (evals int64, wall float64, err error) {
+	counting := &ode.CountingSystem{Sys: p.Sys}
+	in := &ode.Integrator{Tab: tab, Ctrl: ode.DefaultController(p.TolA, p.TolR), MaxSteps: 1 << 18, MaxStep: p.MaxStep}
+	in.Init(counting, p.T0, p.TEnd, p.X0, p.H0)
+	start := time.Now()
+	_, err = in.Run()
+	return counting.Evals, time.Since(start).Seconds(), err
+}
+
+// MeasureOverheads compares a protected run under injection against the
+// clean classic baseline (Table IV's definition: the computation-time ratio
+// between the method with injected errors and the classic adaptive
+// controller without injected errors).
+func MeasureOverheads(cfg Config) (Overheads, *Result, error) {
+	baseEvals, baseWall, err := CleanRun(cfg.Problem, cfg.Tab)
+	if err != nil {
+		return Overheads{}, nil, fmt.Errorf("harness: clean baseline failed: %w", err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		return Overheads{}, nil, err
+	}
+	runs := float64(res.Rates.Runs)
+	if runs == 0 {
+		return Overheads{}, res, fmt.Errorf("harness: no completed runs")
+	}
+	perRunEvals := float64(res.Evals) / runs
+	perRunWall := res.WallSeconds / runs
+	o := Overheads{
+		MemoryPct:  100 * res.MemVectors / float64(cfg.Tab.Stages()+2),
+		ComputePct: 100 * (perRunEvals - float64(baseEvals)) / float64(baseEvals),
+		WallPct:    100 * (perRunWall - baseWall) / baseWall,
+	}
+	return o, res, nil
+}
+
+// Replicated runs the same campaign with k different root seeds and
+// reports the across-seed mean and sample standard deviation of each rate
+// (percent) — the seed-robustness check behind the single-seed tables.
+type Replicated struct {
+	FPRMean, FPRStd   float64
+	TPRMean, TPRStd   float64
+	SFNRMean, SFNRStd float64
+	Results           []*Result
+}
+
+// RunReplicated executes k seed-varied replicas of cfg.
+func RunReplicated(cfg Config, k int) (*Replicated, error) {
+	if k < 1 {
+		k = 3
+	}
+	var fprs, tprs, sfnrs []float64
+	out := &Replicated{}
+	for i := 0; i < k; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*1000003
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out.Results = append(out.Results, res)
+		fprs = append(fprs, res.Rates.FPR())
+		tprs = append(tprs, res.Rates.TPR())
+		sfnrs = append(sfnrs, res.Rates.SFNR())
+	}
+	out.FPRMean, out.FPRStd = stats.MeanStd(fprs)
+	out.TPRMean, out.TPRStd = stats.MeanStd(tprs)
+	out.SFNRMean, out.SFNRStd = stats.MeanStd(sfnrs)
+	return out, nil
+}

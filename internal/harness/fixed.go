@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/la"
+	"repro/internal/ode"
+	"repro/internal/problems"
+	"repro/internal/xrand"
+)
+
+// FixedDetectorKind selects a fixed-step detector (the related-work setting
+// of §VII-C: AID and the authors' earlier Hot Rode both assume a constant
+// step size).
+type FixedDetectorKind string
+
+// The fixed-step detector kinds.
+const (
+	FixedNone    FixedDetectorKind = "none"
+	FixedAID     FixedDetectorKind = "aid"
+	FixedHotRode FixedDetectorKind = "hotrode"
+)
+
+// FixedConfig describes one fixed-step campaign cell.
+type FixedConfig struct {
+	Problem  *problems.Problem
+	Tab      *ode.Tableau
+	Injector inject.Injector
+	Detector FixedDetectorKind
+	Seed     uint64
+
+	// H is the constant step size (0 = Problem.H0).
+	H float64
+	// StepsPerRun bounds each integration (0 = span/H).
+	StepsPerRun int
+	// InjectProb is the per-evaluation corruption probability (0 = 1/100).
+	InjectProb float64
+	// MinInjections accumulates restarts until this many SDCs (0 = 1000).
+	MinInjections int
+	// MaxRuns bounds the restarts (0 = 10000).
+	MaxRuns int
+}
+
+// RunFixed executes a fixed-step injection campaign. Ground truth follows
+// the fixed-solver convention of the authors' earlier work: a corruption is
+// significant when the real deviation from the clean recomputation exceeds
+// a tenth of the step's own truncation-error estimate.
+func RunFixed(cfg FixedConfig) (*Result, error) {
+	if cfg.Problem == nil || cfg.Tab == nil || cfg.Injector == nil {
+		return nil, fmt.Errorf("harness: Problem, Tab and Injector are required")
+	}
+	minInj := cfg.MinInjections
+	if minInj == 0 {
+		minInj = 1000
+	}
+	maxRuns := cfg.MaxRuns
+	if maxRuns == 0 {
+		maxRuns = 10000
+	}
+	p := cfg.Problem
+	h := cfg.H
+	if h == 0 {
+		h = p.H0
+	}
+	steps := cfg.StepsPerRun
+	if steps == 0 {
+		steps = int((p.TEnd - p.T0) / h)
+		if steps < 1 {
+			steps = 1
+		}
+	}
+
+	res := &Result{}
+	root := xrand.New(cfg.Seed ^ 0xf1eed)
+	start := time.Now()
+	for rep := 0; rep < maxRuns && res.Rates.Injections < minInj; rep++ {
+		plan := inject.NewPlan(root.Split(uint64(rep)), cfg.Injector)
+		if cfg.InjectProb > 0 {
+			plan.Prob = cfg.InjectProb
+		}
+
+		var det ode.FixedValidator
+		switch cfg.Detector {
+		case FixedNone, "":
+		case FixedAID:
+			det = core.NewAID()
+		case FixedHotRode:
+			det = core.NewHotRode()
+		default:
+			return nil, fmt.Errorf("harness: unknown fixed detector %q", cfg.Detector)
+		}
+
+		counting := &ode.CountingSystem{Sys: p.Sys}
+		in := &ode.FixedIntegrator{Tab: cfg.Tab, Validator: det, Hook: plan.Hook}
+		shadow := ode.NewStepper(cfg.Tab, p.Sys)
+		cw := la.NewVec(p.Sys.Dim())
+
+		in.OnTrial = func(tr *ode.Trial) {
+			rejected := tr.ValidatorReject
+			corrupted := tr.Injections > 0
+			if !corrupted {
+				res.Rates.CleanTrials++
+				if rejected {
+					res.Rates.CleanRejected++
+				}
+				return
+			}
+			res.Rates.CorruptTrials++
+			res.Rates.Injections += tr.Injections
+			if rejected {
+				res.Rates.CorruptRejected++
+			}
+			restore := plan.Pause()
+			clean := shadow.Trial(tr.T, tr.H, tr.XStart, nil, nil)
+			restore()
+			// Fixed-solver significance: deviation > LTE/10 (Hot Rode's
+			// convention, since there is no user tolerance to compare with).
+			cw.CopyFrom(clean.ErrVec)
+			thresh := cw.NormInf() / 10
+			if thresh == 0 {
+				thresh = 1e-300
+			}
+			var dev float64
+			for i := range clean.XProp {
+				if d := tr.XProp[i] - clean.XProp[i]; d > dev {
+					dev = d
+				} else if -d > dev {
+					dev = -d
+				}
+			}
+			if dev > thresh {
+				res.Rates.SigTrials++
+				if !rejected {
+					res.Rates.SigAccepted++
+				}
+			}
+		}
+
+		in.Init(counting, p.T0, p.X0, h)
+		if err := in.RunN(steps); err != nil {
+			res.Rates.Diverged++
+		}
+		res.Rates.Runs++
+		res.Steps += in.Stats.Steps
+		res.TrialSteps += in.Stats.TrialSteps
+		res.Evals += counting.Evals
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/inject"
+	"repro/internal/ode"
+	"repro/internal/problems"
+)
+
+func fixedWorkload() *problems.Problem {
+	return problems.Oscillator()
+}
+
+func TestRunFixedRequiresConfig(t *testing.T) {
+	if _, err := RunFixed(FixedConfig{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunFixedUnknownDetector(t *testing.T) {
+	_, err := RunFixed(FixedConfig{Problem: fixedWorkload(), Tab: ode.HeunEuler(), Injector: inject.Scaled{},
+		Detector: "bogus", MinInjections: 1, MaxRuns: 1})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunFixedBaselineRates(t *testing.T) {
+	// Without a detector nothing is rejected.
+	res, err := RunFixed(FixedConfig{Problem: fixedWorkload(), Tab: ode.HeunEuler(), Injector: inject.Scaled{},
+		Detector: FixedNone, Seed: 1, MinInjections: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rates.Injections < 200 || res.Rates.CorruptRejected != 0 || res.Rates.CleanRejected != 0 {
+		t.Fatalf("baseline rates wrong: %s", res.Rates.String())
+	}
+	if res.Rates.SigTrials == 0 {
+		t.Fatal("no significant corruptions classified")
+	}
+}
+
+func TestRunFixedAIDImprovesOverNone(t *testing.T) {
+	base, err := RunFixed(FixedConfig{Problem: fixedWorkload(), Tab: ode.HeunEuler(), Injector: inject.Scaled{},
+		Detector: FixedNone, Seed: 3, MinInjections: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aid, err := RunFixed(FixedConfig{Problem: fixedWorkload(), Tab: ode.HeunEuler(), Injector: inject.Scaled{},
+		Detector: FixedAID, Seed: 3, MinInjections: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aid.Rates.TPR() <= base.Rates.TPR() {
+		t.Fatalf("AID TPR %.1f did not improve on baseline %.1f", aid.Rates.TPR(), base.Rates.TPR())
+	}
+	if aid.Rates.SFNR() > base.Rates.SFNR() {
+		t.Fatalf("AID SFNR %.1f worse than baseline %.1f", aid.Rates.SFNR(), base.Rates.SFNR())
+	}
+}
+
+func TestRunFixedHotRodeDetects(t *testing.T) {
+	hr, err := RunFixed(FixedConfig{Problem: fixedWorkload(), Tab: ode.HeunEuler(), Injector: inject.Scaled{},
+		Detector: FixedHotRode, Seed: 5, MinInjections: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Rates.TPR() == 0 {
+		t.Fatal("Hot Rode never detected anything")
+	}
+	// Its threshold calibration must keep false positives moderate.
+	if hr.Rates.FPR() > 20 {
+		t.Fatalf("Hot Rode FPR %.1f%% too high", hr.Rates.FPR())
+	}
+}
+
+func TestRunFixedCustomProbability(t *testing.T) {
+	res, err := RunFixed(FixedConfig{Problem: fixedWorkload(), Tab: ode.HeunEuler(), Injector: inject.Scaled{},
+		Detector: FixedNone, Seed: 2, MinInjections: 100, InjectProb: 0.1, MaxRuns: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 10x the default probability, 100 injections need far fewer trials.
+	frac := float64(res.Rates.Injections) / float64(res.Rates.CorruptTrials+res.Rates.CleanTrials)
+	if frac < 0.05 {
+		t.Fatalf("injection density %.3f, want ~0.1-ish", frac)
+	}
+}

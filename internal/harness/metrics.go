@@ -1,0 +1,142 @@
+// Package harness runs the paper's fault-injection experiments: it wires an
+// injection plan and a detector into the adaptive integrator, classifies
+// every corrupted trial as significant or insignificant by recomputing the
+// step cleanly (§IV-A), and accumulates the detection-performance rates of
+// §II-G (false positive rate, true positive rate, false negative rate, and
+// the significant false negative rate) together with the memory and
+// computational overheads of §VI-B.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Rates accumulates per-trial detection outcomes. A trial is "corrupted"
+// when at least one SDC was injected into the stage evaluations that feed
+// its proposed solution (directly or inherited through a reused first
+// stage); it is "significant" when its real scaled LTE — measured against a
+// clean recomputation — exceeds 1.0.
+type Rates struct {
+	CleanTrials   int // noncorrupted trials
+	CleanRejected int // noncorrupted trials rejected (false positives)
+
+	CorruptTrials   int // corrupted trials
+	CorruptRejected int // corrupted trials rejected (true positives)
+
+	SigTrials   int // corrupted trials whose corruption is significant
+	SigAccepted int // significant corrupted trials accepted (the dangerous case)
+
+	Injections int // SDCs applied to solution-feeding evaluations
+	Diverged   int // runs that failed (step-size underflow / NaN escape)
+	Runs       int // completed integrations
+}
+
+// Add accumulates other into r.
+func (r *Rates) Add(other Rates) {
+	r.CleanTrials += other.CleanTrials
+	r.CleanRejected += other.CleanRejected
+	r.CorruptTrials += other.CorruptTrials
+	r.CorruptRejected += other.CorruptRejected
+	r.SigTrials += other.SigTrials
+	r.SigAccepted += other.SigAccepted
+	r.Injections += other.Injections
+	r.Diverged += other.Diverged
+	r.Runs += other.Runs
+}
+
+func pct(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// FPR returns the false positive rate in percent: rejected noncorrupted
+// trials over noncorrupted trials.
+func (r *Rates) FPR() float64 { return pct(r.CleanRejected, r.CleanTrials) }
+
+// TPR returns the true positive rate in percent: rejected corrupted trials
+// over corrupted trials.
+func (r *Rates) TPR() float64 { return pct(r.CorruptRejected, r.CorruptTrials) }
+
+// FNR returns the false negative rate in percent (100 - TPR).
+func (r *Rates) FNR() float64 { return pct(r.CorruptTrials-r.CorruptRejected, r.CorruptTrials) }
+
+// SFNR returns the significant false negative rate in percent: accepted
+// significantly corrupted trials over significantly corrupted trials.
+func (r *Rates) SFNR() float64 { return pct(r.SigAccepted, r.SigTrials) }
+
+// String summarizes the rates.
+func (r *Rates) String() string {
+	return fmt.Sprintf("FPR=%.1f%% TPR=%.1f%% FNR=%.1f%% SFNR=%.1f%% (inj=%d sig=%d runs=%d diverged=%d)",
+		r.FPR(), r.TPR(), r.FNR(), r.SFNR(), r.Injections, r.SigTrials, r.Runs, r.Diverged)
+}
+
+// Overheads reports a detector's cost relative to the classic adaptive
+// controller (§VI-B), in percent.
+type Overheads struct {
+	MemoryPct  float64 // extra solution-sized vectors / (N_k + 2)
+	ComputePct float64 // extra RHS evaluations under injection / clean classic evaluations
+	WallPct    float64 // wall-clock overhead of the same comparison
+}
+
+func (o Overheads) String() string {
+	return fmt.Sprintf("memory=+%.1f%% compute=+%.1f%% wall=+%.1f%%", o.MemoryPct, o.ComputePct, o.WallPct)
+}
+
+// FPRInterval returns the false positive rate with its 95% Wilson interval.
+func (r *Rates) FPRInterval() stats.Rate { return stats.NewRate(r.CleanRejected, r.CleanTrials) }
+
+// TPRInterval returns the true positive rate with its 95% Wilson interval.
+func (r *Rates) TPRInterval() stats.Rate { return stats.NewRate(r.CorruptRejected, r.CorruptTrials) }
+
+// SFNRInterval returns the significant false negative rate with its 95%
+// Wilson interval.
+func (r *Rates) SFNRInterval() stats.Rate { return stats.NewRate(r.SigAccepted, r.SigTrials) }
+
+// Report is the JSON-serializable archive of one campaign cell, written by
+// cmd/sdcinject -json so sweeps can be post-processed.
+type Report struct {
+	Problem   string  `json:"problem"`
+	Method    string  `json:"method"`
+	Injector  string  `json:"injector"`
+	Detector  string  `json:"detector"`
+	Seed      uint64  `json:"seed"`
+	TolA      float64 `json:"tol_a"`
+	TolR      float64 `json:"tol_r"`
+	StateProb float64 `json:"state_prob,omitempty"`
+
+	Rates       Rates   `json:"rates"`
+	FPRPct      float64 `json:"fpr_pct"`
+	TPRPct      float64 `json:"tpr_pct"`
+	SFNRPct     float64 `json:"sfnr_pct"`
+	MeanOrder   float64 `json:"mean_order,omitempty"`
+	Steps       int     `json:"steps"`
+	Evals       int64   `json:"evals"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// NewReport assembles a Report from a config and its result.
+func NewReport(cfg Config, res *Result) Report {
+	return Report{
+		Problem:   cfg.Problem.Name,
+		Method:    cfg.Tab.Name,
+		Injector:  cfg.Injector.Name(),
+		Detector:  string(cfg.Detector),
+		Seed:      cfg.Seed,
+		TolA:      cfg.Problem.TolA,
+		TolR:      cfg.Problem.TolR,
+		StateProb: cfg.StateProb,
+
+		Rates:       res.Rates,
+		FPRPct:      res.Rates.FPR(),
+		TPRPct:      res.Rates.TPR(),
+		SFNRPct:     res.Rates.SFNR(),
+		MeanOrder:   res.MeanOrder,
+		Steps:       res.Steps,
+		Evals:       res.Evals,
+		WallSeconds: res.WallSeconds,
+	}
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a minimal text-table renderer for the paper-style outputs of
+// cmd/sdcbench and EXPERIMENTS.md.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row, formatting each value with %v and floats as %.1f.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var total int
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := strings.Repeat("-", total)
+	fmt.Fprintln(w, line)
+	for i, h := range t.Headers {
+		fmt.Fprintf(w, "%-*s   ", widths[i], h)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, line)
+	for _, row := range t.Rows {
+		for i, c := range row {
+			wd := 0
+			if i < len(widths) {
+				wd = widths[i]
+			}
+			fmt.Fprintf(w, "%-*s   ", wd, c)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, line)
+}

@@ -1,0 +1,165 @@
+// Package krylov provides the matrix-free linear solver behind the implicit
+// integrators: restarted GMRES with Givens-rotation least squares. Operators
+// are supplied as closures, so Newton-Krylov methods can use
+// finite-difference Jacobian-vector products without ever forming a matrix.
+package krylov
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/la"
+)
+
+// MatVec computes dst = A*v. dst and v never alias.
+type MatVec func(dst, v la.Vec)
+
+// ErrStalled is returned when GMRES cannot reduce the residual to the
+// requested tolerance within the iteration budget.
+var ErrStalled = errors.New("krylov: GMRES did not converge")
+
+// Options configures a GMRES solve; zero values take defaults.
+type Options struct {
+	Tol     float64 // relative residual target (default 1e-8)
+	MaxIter int     // total Krylov iterations (default 200)
+	Restart int     // restart length m (default min(30, n))
+}
+
+// GMRES solves A x = b, starting from the initial guess in x and leaving
+// the solution there. It returns the iteration count and the final relative
+// residual.
+func GMRES(A MatVec, b, x la.Vec, opt Options) (int, float64, error) {
+	n := len(b)
+	if len(x) != n {
+		panic("krylov: GMRES dimension mismatch")
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 200
+	}
+	m := opt.Restart
+	if m <= 0 {
+		m = 30
+	}
+	if m > n {
+		m = n
+	}
+	if m > opt.MaxIter {
+		m = opt.MaxIter
+	}
+
+	bnorm := b.Norm2()
+	if bnorm == 0 {
+		x.Zero()
+		return 0, 0, nil
+	}
+
+	r := la.NewVec(n)
+	w := la.NewVec(n)
+	// Krylov basis and Hessenberg in compact storage.
+	V := make([]la.Vec, m+1)
+	for i := range V {
+		V[i] = la.NewVec(n)
+	}
+	H := make([][]float64, m+1)
+	for i := range H {
+		H[i] = make([]float64, m)
+	}
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	y := make([]float64, m)
+
+	iters := 0
+	for iters < opt.MaxIter {
+		// r = b - A x
+		A(r, x)
+		r.Scale(-1)
+		r.Add(b)
+		beta := r.Norm2()
+		rel := beta / bnorm
+		if rel <= opt.Tol {
+			return iters, rel, nil
+		}
+		V[0].CopyFrom(r)
+		V[0].Scale(1 / beta)
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		k := 0
+		for ; k < m && iters < opt.MaxIter; k++ {
+			iters++
+			A(w, V[k])
+			// Modified Gram-Schmidt.
+			for i := 0; i <= k; i++ {
+				h := w.Dot(V[i])
+				H[i][k] = h
+				w.AXPY(-h, V[i])
+			}
+			hk1 := w.Norm2()
+			H[k+1][k] = hk1
+			if hk1 > 0 {
+				V[k+1].CopyFrom(w)
+				V[k+1].Scale(1 / hk1)
+			}
+			// Apply previous Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*H[i][k] + sn[i]*H[i+1][k]
+				H[i+1][k] = -sn[i]*H[i][k] + cs[i]*H[i+1][k]
+				H[i][k] = t
+			}
+			// New rotation annihilating H[k+1][k].
+			denom := math.Hypot(H[k][k], H[k+1][k])
+			if denom == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k] = H[k][k] / denom
+				sn[k] = H[k+1][k] / denom
+			}
+			H[k][k] = cs[k]*H[k][k] + sn[k]*H[k+1][k]
+			H[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+			if math.Abs(g[k+1])/bnorm <= opt.Tol {
+				k++
+				break
+			}
+			if hk1 == 0 {
+				// Lucky breakdown: exact solution in the current space.
+				k++
+				break
+			}
+		}
+		// Solve the k x k triangular system H y = g.
+		for i := k - 1; i >= 0; i-- {
+			y[i] = g[i]
+			for j := i + 1; j < k; j++ {
+				y[i] -= H[i][j] * y[j]
+			}
+			y[i] /= H[i][i]
+		}
+		for i := 0; i < k; i++ {
+			x.AXPY(y[i], V[i])
+		}
+		// Check convergence after the restart cycle.
+		A(r, x)
+		r.Scale(-1)
+		r.Add(b)
+		rel = r.Norm2() / bnorm
+		if rel <= opt.Tol {
+			return iters, rel, nil
+		}
+	}
+	A(r, x)
+	r.Scale(-1)
+	r.Add(b)
+	rel := r.Norm2() / bnorm
+	if rel <= opt.Tol {
+		return iters, rel, nil
+	}
+	return iters, rel, ErrStalled
+}

@@ -1,0 +1,147 @@
+package krylov
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/la"
+)
+
+func denseMatVec(a [][]float64) MatVec {
+	return func(dst, v la.Vec) {
+		for i := range a {
+			s := 0.0
+			for j := range a[i] {
+				s += a[i][j] * v[j]
+			}
+			dst[i] = s
+		}
+	}
+}
+
+func TestGMRESIdentity(t *testing.T) {
+	n := 10
+	A := func(dst, v la.Vec) { dst.CopyFrom(v) }
+	b := la.NewVec(n)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	x := la.NewVec(n)
+	it, res, err := GMRES(A, b, x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-b[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %g", i, x[i])
+		}
+	}
+	if it > n || res > 1e-8 {
+		t.Fatalf("iters=%d res=%g", it, res)
+	}
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	x := la.Vec{5, 5}
+	_, _, err := GMRES(func(dst, v la.Vec) { dst.CopyFrom(v) }, la.NewVec(2), x, Options{})
+	if err != nil || x.Norm2() != 0 {
+		t.Fatalf("zero-rhs solve: x=%v err=%v", x, err)
+	}
+}
+
+func TestGMRESRandomDiagDominant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 40
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		rowSum := 0.0
+		for j := range a[i] {
+			if i != j {
+				a[i][j] = rng.NormFloat64()
+				rowSum += math.Abs(a[i][j])
+			}
+		}
+		a[i][i] = rowSum + 1 + rng.Float64()
+	}
+	want := la.NewVec(n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := la.NewVec(n)
+	denseMatVec(a)(b, want)
+	x := la.NewVec(n)
+	_, res, err := GMRES(denseMatVec(a), b, x, Options{Tol: 1e-10, MaxIter: 400})
+	if err != nil {
+		t.Fatalf("err=%v res=%g", err, res)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestGMRESLaplacian(t *testing.T) {
+	// 1-D Laplacian (I + L): needs restarts at m = 10 for n = 100.
+	n := 100
+	A := func(dst, v la.Vec) {
+		for i := 0; i < n; i++ {
+			s := 3 * v[i]
+			if i > 0 {
+				s -= v[i-1]
+			}
+			if i < n-1 {
+				s -= v[i+1]
+			}
+			dst[i] = s
+		}
+	}
+	b := la.NewVec(n)
+	b.Fill(1)
+	x := la.NewVec(n)
+	_, res, err := GMRES(A, b, x, Options{Tol: 1e-9, MaxIter: 500, Restart: 10})
+	if err != nil {
+		t.Fatalf("err=%v res=%g", err, res)
+	}
+	// Verify residual directly.
+	r := la.NewVec(n)
+	A(r, x)
+	r.Sub(b)
+	if r.Norm2()/b.Norm2() > 1e-8 {
+		t.Fatalf("residual %g", r.Norm2())
+	}
+}
+
+func TestGMRESWarmStart(t *testing.T) {
+	// Starting from the exact solution should converge immediately.
+	n := 8
+	A := func(dst, v la.Vec) {
+		for i := range v {
+			dst[i] = float64(i+2) * v[i]
+		}
+	}
+	want := la.Vec{1, 2, 3, 4, 5, 6, 7, 8}
+	b := la.NewVec(n)
+	A(b, want)
+	x := want.Clone()
+	it, _, err := GMRES(A, b, x, Options{})
+	if err != nil || it != 0 {
+		t.Fatalf("warm start: it=%d err=%v", it, err)
+	}
+}
+
+func TestGMRESStallsOnSingular(t *testing.T) {
+	// Singular operator with b outside the range cannot converge.
+	A := func(dst, v la.Vec) {
+		dst[0] = v[0]
+		dst[1] = 0
+	}
+	b := la.Vec{1, 1}
+	x := la.NewVec(2)
+	_, _, err := GMRES(A, b, x, Options{MaxIter: 20})
+	if err == nil {
+		t.Fatal("expected ErrStalled")
+	}
+}

@@ -1,0 +1,103 @@
+package la
+
+import "math"
+
+// ErrWeights fills w[i] = tolA + tolR*|x[i]|, the componentwise error level
+// Err_n of the paper (§III-B). The step controller and both double-checking
+// strategies scale raw error estimates by these weights.
+func ErrWeights(w, x Vec, tolA, tolR float64) {
+	if len(w) != len(x) {
+		panic("la: ErrWeights length mismatch")
+	}
+	for i := range w {
+		w[i] = tolA + tolR*math.Abs(x[i])
+	}
+}
+
+// WRMS returns the weighted root-mean-square norm
+//
+//	sqrt( (1/m) * sum_i (e[i]/w[i])^2 ),
+//
+// the scaled error SErr of the paper with q = 2 (the PETSc default). The
+// tolerances are satisfied when the result is <= 1.
+func WRMS(e, w Vec) float64 {
+	if len(e) != len(w) {
+		panic("la: WRMS length mismatch")
+	}
+	if len(e) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range e {
+		r := e[i] / w[i]
+		s += r * r
+	}
+	return math.Sqrt(s / float64(len(e)))
+}
+
+// WRMSDiff returns WRMS(a-b, w) without materializing the difference.
+func WRMSDiff(a, b, w Vec) float64 {
+	if len(a) != len(b) || len(a) != len(w) {
+		panic("la: WRMSDiff length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		r := (a[i] - b[i]) / w[i]
+		s += r * r
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+// WMax returns the weighted max norm max_i |e[i]|/w[i], the q = infinity
+// variant of the scaled error.
+func WMax(e, w Vec) float64 {
+	if len(e) != len(w) {
+		panic("la: WMax length mismatch")
+	}
+	var m float64
+	for i := range e {
+		if r := math.Abs(e[i] / w[i]); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// WMaxDiff returns WMax(a-b, w) without materializing the difference.
+func WMaxDiff(a, b, w Vec) float64 {
+	if len(a) != len(b) || len(a) != len(w) {
+		panic("la: WMaxDiff length mismatch")
+	}
+	var m float64
+	for i := range a {
+		if r := math.Abs((a[i] - b[i]) / w[i]); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// WRMSPartial returns the two accumulators (sum of squares, count) of the
+// WRMS norm over a local slice so that distributed callers can Allreduce
+// them and finish the norm globally.
+func WRMSPartial(e, w Vec) (sumsq float64, n int) {
+	if len(e) != len(w) {
+		panic("la: WRMSPartial length mismatch")
+	}
+	for i := range e {
+		r := e[i] / w[i]
+		sumsq += r * r
+	}
+	return sumsq, len(e)
+}
+
+// WRMSFinish combines globally reduced accumulators into the norm value.
+func WRMSFinish(sumsq float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sumsq / float64(n))
+}

@@ -1,0 +1,110 @@
+package la
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestErrWeights(t *testing.T) {
+	x := Vec{-2, 0, 4}
+	w := NewVec(3)
+	ErrWeights(w, x, 1e-3, 1e-2)
+	want := Vec{1e-3 + 2e-2, 1e-3, 1e-3 + 4e-2}
+	for i := range w {
+		if !almostEq(w[i], want[i], 1e-15) {
+			t.Fatalf("ErrWeights[%d] = %g, want %g", i, w[i], want[i])
+		}
+	}
+}
+
+func TestWRMSUnitWeights(t *testing.T) {
+	e := Vec{3, 4}
+	w := Vec{1, 1}
+	// sqrt((9+16)/2) = sqrt(12.5)
+	if got := WRMS(e, w); !almostEq(got, math.Sqrt(12.5), 1e-15) {
+		t.Fatalf("WRMS = %g", got)
+	}
+}
+
+func TestWRMSEmpty(t *testing.T) {
+	if WRMS(Vec{}, Vec{}) != 0 {
+		t.Fatal("WRMS of empty vector should be 0")
+	}
+}
+
+func TestWRMSDiffMatchesWRMS(t *testing.T) {
+	a := Vec{1, 2, 3}
+	b := Vec{0.5, 2.5, 2}
+	w := Vec{0.1, 0.2, 0.3}
+	d := a.Clone()
+	d.Sub(b)
+	if got, want := WRMSDiff(a, b, w), WRMS(d, w); !almostEq(got, want, 1e-15) {
+		t.Fatalf("WRMSDiff = %g, WRMS = %g", got, want)
+	}
+}
+
+func TestWMax(t *testing.T) {
+	e := Vec{-1, 0.5}
+	w := Vec{0.5, 1}
+	if got := WMax(e, w); got != 2 {
+		t.Fatalf("WMax = %g, want 2", got)
+	}
+	if got := WMaxDiff(Vec{1, 1}, Vec{0, 1}, Vec{0.25, 1}); got != 4 {
+		t.Fatalf("WMaxDiff = %g, want 4", got)
+	}
+}
+
+func TestWRMSPartialFinish(t *testing.T) {
+	e := Vec{1, 2, 3, 4}
+	w := Vec{1, 1, 1, 1}
+	s1, n1 := WRMSPartial(e[:2], w[:2])
+	s2, n2 := WRMSPartial(e[2:], w[2:])
+	got := WRMSFinish(s1+s2, n1+n2)
+	if want := WRMS(e, w); !almostEq(got, want, 1e-15) {
+		t.Fatalf("partial/finish = %g, direct = %g", got, want)
+	}
+	if WRMSFinish(0, 0) != 0 {
+		t.Fatal("WRMSFinish(0,0) should be 0")
+	}
+}
+
+// Property: WRMS is homogeneous — scaling the error by c scales the norm by |c|.
+func TestWRMSHomogeneousProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := 1 + rng.IntN(50)
+		e, w := NewVec(n), NewVec(n)
+		for i := range e {
+			e[i] = rng.NormFloat64()
+			w[i] = 0.1 + rng.Float64()
+		}
+		c := rng.NormFloat64()
+		scaled := e.Clone()
+		scaled.Scale(c)
+		return almostEq(WRMS(scaled, w), math.Abs(c)*WRMS(e, w), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WMax <= WRMS * sqrt(m) and WRMS <= WMax for any weights.
+func TestWRMSWMaxRelationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		n := 1 + rng.IntN(50)
+		e, w := NewVec(n), NewVec(n)
+		for i := range e {
+			e[i] = rng.NormFloat64()
+			w[i] = 0.1 + rng.Float64()
+		}
+		wrms, wmax := WRMS(e, w), WMax(e, w)
+		tol := 1 + 1e-12
+		return wrms <= wmax*tol && wmax <= wrms*math.Sqrt(float64(n))*tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package la
+
+import "fmt"
+
+// TridiagSolve solves the tridiagonal system
+//
+//	a[i]*x[i-1] + b[i]*x[i] + c[i]*x[i+1] = d[i],  i = 0..n-1
+//
+// with a[0] and c[n-1] ignored, using the Thomas algorithm. The right-hand
+// side d is overwritten with the solution. scratch must have length >= n; it
+// holds the modified superdiagonal. The system must be diagonally dominant
+// enough for the Thomas algorithm (true for the CRWENO schemes, whose
+// diagonals are convex combinations around 2/3).
+func TridiagSolve(a, b, c, d, scratch []float64) {
+	n := len(d)
+	if len(a) != n || len(b) != n || len(c) != n {
+		panic("la: TridiagSolve band length mismatch")
+	}
+	if len(scratch) < n {
+		panic(fmt.Sprintf("la: TridiagSolve scratch too small: %d < %d", len(scratch), n))
+	}
+	if n == 0 {
+		return
+	}
+	cp := scratch[:n]
+	beta := b[0]
+	if beta == 0 {
+		panic("la: TridiagSolve zero pivot at row 0")
+	}
+	cp[0] = c[0] / beta
+	d[0] /= beta
+	for i := 1; i < n; i++ {
+		beta = b[i] - a[i]*cp[i-1]
+		if beta == 0 {
+			panic(fmt.Sprintf("la: TridiagSolve zero pivot at row %d", i))
+		}
+		cp[i] = c[i] / beta
+		d[i] = (d[i] - a[i]*d[i-1]) / beta
+	}
+	for i := n - 2; i >= 0; i-- {
+		d[i] -= cp[i] * d[i+1]
+	}
+}
+
+// TridiagSolveCyclic solves the cyclic (periodic) tridiagonal system where
+// a[0] couples row 0 to row n-1 and c[n-1] couples row n-1 to row 0, using
+// the Sherman-Morrison correction over two Thomas solves. d is overwritten
+// with the solution; scratch must have length >= 3n. Used by the periodic
+// CRWENO compact scheme.
+func TridiagSolveCyclic(a, b, c, d, scratch []float64) {
+	n := len(d)
+	if len(a) != n || len(b) != n || len(c) != n {
+		panic("la: TridiagSolveCyclic band length mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		d[0] /= b[0] + a[0] + c[0]
+		return
+	}
+	if len(scratch) < 3*n {
+		panic(fmt.Sprintf("la: TridiagSolveCyclic scratch too small: %d < %d", len(scratch), 3*n))
+	}
+	bb := scratch[:n]
+	u := scratch[n : 2*n]
+	th := scratch[2*n : 3*n]
+	// Choose gamma to perturb b[0]; solve A' y = d and A' q = u where
+	// u = gamma*e_0 + c[n-1]*e_{n-1} ... standard formulation:
+	gamma := -b[0]
+	copy(bb, b)
+	bb[0] = b[0] - gamma
+	bb[n-1] = b[n-1] - a[0]*c[n-1]/gamma
+	for i := range u {
+		u[i] = 0
+	}
+	u[0] = gamma
+	u[n-1] = c[n-1]
+	// Solve with the modified diagonal; a[0] and c[n-1] are ignored by
+	// TridiagSolve, which matches the non-cyclic interior of A'.
+	TridiagSolve(a, bb, c, d, th)
+	TridiagSolve(a, bb, c, u, th)
+	// v = (e_0 + (a[0]/gamma) e_{n-1}); correction factor:
+	fact := (d[0] + a[0]*d[n-1]/gamma) / (1 + u[0] + a[0]*u[n-1]/gamma)
+	for i := 0; i < n; i++ {
+		d[i] -= fact * u[i]
+	}
+}
+
+// TridiagMulAddCyclic computes y = A x for the cyclic tridiagonal matrix
+// (wrap-around corners included); used to verify cyclic solves.
+func TridiagMulAddCyclic(a, b, c, x, y []float64) {
+	n := len(x)
+	if len(a) != n || len(b) != n || len(c) != n || len(y) != n {
+		panic("la: TridiagMulAddCyclic length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		im := i - 1
+		if im < 0 {
+			im = n - 1
+		}
+		ip := i + 1
+		if ip == n {
+			ip = 0
+		}
+		y[i] = a[i]*x[im] + b[i]*x[i] + c[i]*x[ip]
+	}
+}
+
+// TridiagMulAdd computes y[i] = a[i]*x[i-1] + b[i]*x[i] + c[i]*x[i+1]
+// (with out-of-range neighbors treated as zero), used to verify solves in
+// tests and to apply compact-scheme left-hand sides.
+func TridiagMulAdd(a, b, c, x, y []float64) {
+	n := len(x)
+	if len(a) != n || len(b) != n || len(c) != n || len(y) != n {
+		panic("la: TridiagMulAdd length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		v := b[i] * x[i]
+		if i > 0 {
+			v += a[i] * x[i-1]
+		}
+		if i < n-1 {
+			v += c[i] * x[i+1]
+		}
+		y[i] = v
+	}
+}

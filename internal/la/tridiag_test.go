@@ -1,0 +1,145 @@
+package la
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestTridiagSolveIdentity(t *testing.T) {
+	n := 5
+	a := make([]float64, n)
+	b := []float64{1, 1, 1, 1, 1}
+	c := make([]float64, n)
+	d := []float64{3, 1, 4, 1, 5}
+	scratch := make([]float64, n)
+	want := append([]float64(nil), d...)
+	TridiagSolve(a, b, c, d, scratch)
+	for i := range d {
+		if d[i] != want[i] {
+			t.Fatalf("identity solve changed d: %v", d)
+		}
+	}
+}
+
+func TestTridiagSolveKnown(t *testing.T) {
+	// System: [2 1; 1 2] style 3x3.
+	a := []float64{0, 1, 1}
+	b := []float64{2, 2, 2}
+	c := []float64{1, 1, 0}
+	x := []float64{1, -2, 3}
+	d := make([]float64, 3)
+	TridiagMulAdd(a, b, c, x, d)
+	scratch := make([]float64, 3)
+	TridiagSolve(a, b, c, d, scratch)
+	for i := range x {
+		if !almostEq(d[i], x[i], 1e-13) {
+			t.Fatalf("solve[%d] = %g, want %g", i, d[i], x[i])
+		}
+	}
+}
+
+func TestTridiagSolveEmpty(t *testing.T) {
+	TridiagSolve(nil, nil, nil, nil, nil) // should not panic
+}
+
+func TestTridiagSolveZeroPivotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero pivot")
+		}
+	}()
+	TridiagSolve([]float64{0}, []float64{0}, []float64{0}, []float64{1}, make([]float64, 1))
+}
+
+// Property: for random diagonally dominant systems, solve(mul(x)) == x.
+func TestTridiagRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		n := 1 + rng.IntN(100)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		x := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.NormFloat64()
+			c[i] = rng.NormFloat64()
+			// Strict diagonal dominance.
+			b[i] = 1 + absf(a[i]) + absf(c[i]) + rng.Float64()
+			x[i] = rng.NormFloat64()
+		}
+		d := make([]float64, n)
+		TridiagMulAdd(a, b, c, x, d)
+		TridiagSolve(a, b, c, d, make([]float64, n))
+		for i := range x {
+			if !almostEq(d[i], x[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Property: cyclic solve round-trips against cyclic mat-vec for diagonally
+// dominant periodic systems.
+func TestTridiagCyclicRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 13))
+		n := 2 + rng.IntN(100)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		x := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.NormFloat64()
+			c[i] = rng.NormFloat64()
+			b[i] = 2 + absf(a[i]) + absf(c[i]) + rng.Float64()
+			x[i] = rng.NormFloat64()
+		}
+		d := make([]float64, n)
+		TridiagMulAddCyclic(a, b, c, x, d)
+		TridiagSolveCyclic(a, b, c, d, make([]float64, 3*n))
+		for i := range x {
+			if !almostEq(d[i], x[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTridiagCyclicSize1(t *testing.T) {
+	d := []float64{6}
+	TridiagSolveCyclic([]float64{1}, []float64{2}, []float64{3}, d, nil)
+	if d[0] != 1 {
+		t.Fatalf("1x1 cyclic solve = %g, want 1", d[0])
+	}
+}
+
+func TestTridiagCyclicKnown(t *testing.T) {
+	// Circulant [4 1 0 1; 1 4 1 0; 0 1 4 1; 1 0 1 4] with x = ones: Ax = 6.
+	n := 4
+	a := []float64{1, 1, 1, 1}
+	b := []float64{4, 4, 4, 4}
+	c := []float64{1, 1, 1, 1}
+	d := []float64{6, 6, 6, 6}
+	TridiagSolveCyclic(a, b, c, d, make([]float64, 3*n))
+	for i := range d {
+		if !almostEq(d[i], 1, 1e-12) {
+			t.Fatalf("cyclic solve = %v, want ones", d)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package ode
+
+import (
+	"testing"
+
+	"repro/internal/la"
+)
+
+func BenchmarkTrialDormandPrince(b *testing.B) {
+	st := NewStepper(DormandPrince(), oscillator)
+	x := la.Vec{1, 0}
+	for i := 0; i < b.N; i++ {
+		_ = st.Trial(0, 0.01, x, nil, nil)
+	}
+}
+
+func BenchmarkAdaptiveStepHeunEuler(b *testing.B) {
+	// MinStep is set explicitly: the default heuristic scales with the
+	// (deliberately huge) time span.
+	in := &Integrator{Tab: HeunEuler(), Ctrl: DefaultController(1e-8, 1e-8), MinStep: 1e-12}
+	in.Init(oscillator, 0, 1e15, la.Vec{1, 0}, 0.001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := in.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

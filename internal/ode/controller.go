@@ -1,0 +1,121 @@
+package ode
+
+import (
+	"math"
+
+	"repro/internal/la"
+)
+
+// Controller parameters, defaulting to the values the paper (and PETSc) use:
+// alpha = 0.9, alphaMin = 0.1, alphaMax = 10, q = 2 (WRMS norm).
+type Controller struct {
+	TolA     float64 // absolute tolerance Tol_A
+	TolR     float64 // relative tolerance Tol_R
+	Alpha    float64 // safety factor (< 1)
+	AlphaMin float64 // largest allowed step decrease factor
+	AlphaMax float64 // largest allowed step increase factor
+	MaxNorm  bool    // use the q = infinity scaled error instead of WRMS
+}
+
+// DefaultController returns the paper's controller settings with the given
+// tolerances.
+func DefaultController(tolA, tolR float64) Controller {
+	return Controller{TolA: tolA, TolR: tolR, Alpha: 0.9, AlphaMin: 0.1, AlphaMax: 10}
+}
+
+// Weights fills w with the componentwise error level
+// Err_i = TolA + TolR*|x_i| (§III-B).
+func (c *Controller) Weights(w, x la.Vec) { la.ErrWeights(w, x, c.TolA, c.TolR) }
+
+// ScaledError returns SErr, the scaled error of the estimate errVec under
+// the weights w. The step satisfies the tolerances when SErr <= 1.
+func (c *Controller) ScaledError(errVec, w la.Vec) float64 {
+	if c.MaxNorm {
+		return la.WMax(errVec, w)
+	}
+	return la.WRMS(errVec, w)
+}
+
+// ScaledDiff returns the scaled error of a-b under the weights w, used by
+// the double-checking strategies for their second estimate SErr_2.
+func (c *Controller) ScaledDiff(a, b, w la.Vec) float64 {
+	if c.MaxNorm {
+		return la.WMaxDiff(a, b, w)
+	}
+	return la.WRMSDiff(a, b, w)
+}
+
+// NewStepSize implements the step-size law of Eq. (5):
+//
+//	h_new = h * min(alphaMax, max(alphaMin, alpha*(1/SErr)^(1/controlOrder))).
+//
+// controlOrder is p̂+1 (Tableau.ControlOrder). A zero SErr yields the
+// maximum increase, as in PETSc.
+func (c *Controller) NewStepSize(h, sErr float64, controlOrder int) float64 {
+	factor := c.AlphaMax
+	if sErr > 0 {
+		a := c.Alpha * math.Pow(1/sErr, 1/float64(controlOrder))
+		factor = math.Min(c.AlphaMax, math.Max(c.AlphaMin, a))
+	}
+	return h * factor
+}
+
+// PIStepSize is the proportional-integral step-size law (Gustafsson's PI.3.4
+// controller), an alternative to the paper's elementary controller of
+// Eq. (5): it damps the step-size oscillations the elementary law produces
+// near the stability boundary by also weighing the previous scaled error.
+// Pass sErrPrev <= 0 on the first step to fall back to the elementary law.
+func (c *Controller) PIStepSize(h, sErr, sErrPrev float64, controlOrder int) float64 {
+	if sErrPrev <= 0 || sErr <= 0 {
+		return c.NewStepSize(h, sErr, controlOrder)
+	}
+	k := float64(controlOrder)
+	// PI.3.4 (Hairer & Wanner): h_new = h * (1/err)^(0.3/k) *
+	// (errPrev/err)^(0.4/k) — a rising error sequence shrinks the step
+	// harder, a falling one shrinks it less.
+	a := c.Alpha * math.Pow(1/sErr, 0.3/k) * math.Pow(sErrPrev/sErr, 0.4/k)
+	factor := math.Min(c.AlphaMax, math.Max(c.AlphaMin, a))
+	return h * factor
+}
+
+// InitialStep implements the classic automatic starting-step heuristic
+// (Hairer, Nørsett & Wanner II.4): it combines the scaled sizes of x0 and
+// f(x0) with one explicit Euler probe to bound the second derivative, then
+// takes the smaller of the two candidate steps raised to the method order.
+// It costs two right-hand-side evaluations.
+func (c *Controller) InitialStep(sys System, t0 float64, x0 la.Vec, controlOrder int, span float64) float64 {
+	m := sys.Dim()
+	f0 := la.NewVec(m)
+	sys.Eval(t0, x0, f0)
+	w := la.NewVec(m)
+	c.Weights(w, x0)
+	d0 := la.WRMS(x0, w)
+	d1 := la.WRMS(f0, w)
+	var h0 float64
+	if d0 < 1e-5 || d1 < 1e-5 {
+		h0 = 1e-6
+	} else {
+		h0 = 0.01 * d0 / d1
+	}
+	if span > 0 && h0 > span {
+		h0 = span
+	}
+	// Explicit Euler probe to estimate the second derivative scale.
+	x1 := x0.Clone()
+	x1.AXPY(h0, f0)
+	f1 := la.NewVec(m)
+	sys.Eval(t0+h0, x1, f1)
+	f1.Sub(f0)
+	d2 := la.WRMS(f1, w) / h0
+	var h1 float64
+	if math.Max(d1, d2) <= 1e-15 {
+		h1 = math.Max(1e-6, h0*1e-3)
+	} else {
+		h1 = math.Pow(0.01/math.Max(d1, d2), 1/float64(controlOrder))
+	}
+	h := math.Min(100*h0, h1)
+	if span > 0 && h > span {
+		h = span
+	}
+	return h
+}

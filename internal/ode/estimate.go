@@ -1,0 +1,87 @@
+package ode
+
+import (
+	"fmt"
+
+	"repro/internal/la"
+)
+
+// LIPEstimate fills dst with the order-q Lagrange-interpolating-polynomial
+// extrapolation of the solution at time t from the q+1 most recent accepted
+// solutions in hist (§V-A). Order 0 is the last value; orders 1 and 2
+// reproduce the paper's closed-form variable-step expressions. It panics if
+// the history holds fewer than q+1 solutions.
+func LIPEstimate(dst la.Vec, hist *History, q int, t float64) {
+	if q < 0 {
+		panic("ode: LIPEstimate negative order")
+	}
+	need := q + 1
+	if hist.Len() < need {
+		panic(fmt.Sprintf("ode: LIPEstimate order %d needs %d history entries, have %d", q, need, hist.Len()))
+	}
+	if q == 0 {
+		dst.CopyFrom(hist.X(0))
+		return
+	}
+	nodes := make([]float64, need)
+	for k := 0; k < need; k++ {
+		nodes[k] = hist.T(k)
+	}
+	w := la.LagrangeWeights(nodes, t)
+	dst.Zero()
+	for k := 0; k < need; k++ {
+		dst.AXPY(w[k], hist.X(k))
+	}
+}
+
+// BDFEstimate fills dst with the order-q variable-step backward
+// differentiation formula prediction of the solution at time t (§V-B):
+// the value x~ satisfying
+//
+//	sum_k d_k x_{t_k} = f(t, x_n)
+//
+// where d are the first-derivative weights at t over the nodes
+// {t, t_{n-1}, ..., t_{n-q}} and f is the right-hand side evaluated at the
+// solver's proposed solution (reused from FSAL stages when available, so
+// the estimate costs no extra evaluation on accepted steps). It panics if
+// the history holds fewer than q solutions.
+func BDFEstimate(dst la.Vec, hist *History, q int, t float64, f la.Vec) {
+	if q < 1 {
+		panic("ode: BDFEstimate order must be >= 1")
+	}
+	if hist.Len() < q {
+		panic(fmt.Sprintf("ode: BDFEstimate order %d needs %d history entries, have %d", q, q, hist.Len()))
+	}
+	nodes := make([]float64, q+1)
+	nodes[0] = t
+	for k := 1; k <= q; k++ {
+		nodes[k] = hist.T(k - 1)
+	}
+	d := la.FirstDerivativeWeights(t, nodes)
+	// dst = (f - sum_{k>=1} d_k x_{n-k}) / d_0
+	dst.CopyFrom(f)
+	for k := 1; k <= q; k++ {
+		dst.AXPY(-d[k], hist.X(k-1))
+	}
+	dst.Scale(1 / d[0])
+}
+
+// MaxLIPOrder returns the largest LIP order supported by the current history
+// depth, capped at qMax; -1 when the history is empty.
+func MaxLIPOrder(hist *History, qMax int) int {
+	q := hist.Len() - 1
+	if q > qMax {
+		q = qMax
+	}
+	return q
+}
+
+// MaxBDFOrder returns the largest BDF order supported by the current history
+// depth, capped at qMax; 0 when the history is empty.
+func MaxBDFOrder(hist *History, qMax int) int {
+	q := hist.Len()
+	if q > qMax {
+		q = qMax
+	}
+	return q
+}

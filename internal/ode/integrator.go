@@ -1,0 +1,439 @@
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// Verdict is a Validator's decision about a controller-accepted trial step.
+type Verdict int
+
+const (
+	// VerdictAccept validates the step.
+	VerdictAccept Verdict = iota
+	// VerdictReject asks the integrator to recompute the step with the same
+	// step size (so that a clean recomputation reproduces the identical
+	// scaled error, enabling false-positive self-detection).
+	VerdictReject
+	// VerdictFPRescue accepts the step because the validator recognized its
+	// own previous rejection as a false positive (Algorithm 1's
+	// SErr_1 == lastSErr branch). Counted separately in the statistics.
+	VerdictFPRescue
+)
+
+// Validator double-checks trial steps that the classic adaptive controller
+// already accepted (SErr_1 <= 1). This is the seam where the paper's
+// contribution (internal/core) plugs into the solver.
+type Validator interface {
+	Validate(c *CheckContext) Verdict
+}
+
+// CheckContext gives a Validator the full view of a controller-accepted
+// trial step. Vector fields are views valid only during the Validate call.
+type CheckContext struct {
+	StepIndex int     // index of the step under construction (0-based)
+	T         float64 // time at the start of the step
+	H         float64 // trial step size; the proposed solution lives at T+H
+	XStart    la.Vec  // state the trial actually read (may carry a state SDC)
+	XStored   la.Vec  // the stored solution at T (a replica's independent copy)
+	XProp     la.Vec  // proposed solution
+	ErrVec    la.Vec  // the embedded error estimate vector x - x~
+	SErr1     float64 // the classic controller's scaled error
+	Weights   la.Vec  // componentwise error level Err (TolA + TolR|x|)
+	Hist      *History
+	Ctrl      *Controller
+	Tab       *Tableau
+	// Recomputation is true when the immediately preceding trial of this
+	// same step was rejected by the Validator (not by the controller), so
+	// the current trial reran with an identical step size.
+	Recomputation bool
+
+	integ      *Integrator
+	extSys     System
+	fsalFProp  la.Vec
+	fProp      la.Vec
+	fPropDone  bool
+	fPropInjs  int
+	fPropEvals int
+}
+
+// NewCheckContext assembles a context for integrators defined outside this
+// package (e.g. the implicit solvers in internal/implicit) so they can
+// reuse the same Validator implementations. fprop, when non-nil, supplies
+// f(T+H, XProp) directly (stiffly accurate implicit methods get it for
+// free); otherwise FProp falls back to one evaluation of sys.
+func NewCheckContext(stepIndex int, t, h float64, xStart, xStored, xProp, errVec la.Vec,
+	sErr1 float64, weights la.Vec, hist *History, ctrl *Controller, tab *Tableau,
+	recomputation bool, fprop la.Vec, sys System) *CheckContext {
+	return &CheckContext{
+		StepIndex: stepIndex,
+		T:         t, H: h,
+		XStart: xStart, XStored: xStored, XProp: xProp, ErrVec: errVec,
+		SErr1: sErr1, Weights: weights,
+		Hist: hist, Ctrl: ctrl, Tab: tab,
+		Recomputation: recomputation,
+		fsalFProp:     fprop,
+		extSys:        sys,
+	}
+}
+
+// FPropEvals reports how many fresh evaluations FProp performed (0 or 1).
+func (c *CheckContext) FPropEvals() int { return c.fPropEvals }
+
+// FProp returns f(T+H, XProp), the right-hand side at the proposed solution
+// needed by the integration-based double-checking. For FSAL pairs it is the
+// last stage and free; otherwise it is evaluated once, cached, exposed to
+// the stage hook (as pseudo-stage index Tab.Stages()), and reused as the
+// first stage of the next step if the step is accepted — the paper's
+// "no extra computation when the step is accepted" property.
+func (c *CheckContext) FProp() la.Vec {
+	if c.fsalFProp != nil {
+		return c.fsalFProp
+	}
+	if !c.fPropDone {
+		if c.fProp == nil {
+			c.fProp = la.NewVec(len(c.XProp))
+		}
+		switch {
+		case c.integ != nil:
+			in := c.integ
+			in.sys.Eval(c.T+c.H, c.XProp, c.fProp)
+			c.fPropEvals++
+			if in.Hook != nil {
+				c.fPropInjs += in.Hook(c.Tab.Stages(), c.T+c.H, c.fProp)
+			}
+		case c.extSys != nil:
+			c.extSys.Eval(c.T+c.H, c.XProp, c.fProp)
+			c.fPropEvals++
+		default:
+			panic("ode: CheckContext has no way to evaluate FProp")
+		}
+		c.fPropDone = true
+	}
+	return c.fProp
+}
+
+// Trial reports one trial step to the OnTrial observer. Vector fields are
+// views valid only during the callback.
+type Trial struct {
+	StepIndex int
+	Attempt   int     // 1-based attempt count for this step index
+	T, H      float64 // step start and size
+	XStart    la.Vec
+	XProp     la.Vec
+	Weights   la.Vec
+	SErr1     float64
+	// Injections counts corruptions applied to stage evaluations that feed
+	// the proposed solution during this trial. InheritedCorruption reports
+	// that the reused first stage was corrupted in an earlier trial.
+	// EstimateInjections counts corruptions applied to the double-check's
+	// extra evaluation (they affect only the second estimate, never XProp).
+	Injections          int
+	InheritedCorruption bool
+	EstimateInjections  int
+	// StateInjections counts corruptions applied to this trial's transient
+	// read of the starting state (XStart stays the clean stored solution).
+	StateInjections int
+	ClassicReject   bool
+	ValidatorReject bool
+	FPRescue        bool
+	Accepted        bool
+}
+
+// Stats accumulates integration counters.
+type Stats struct {
+	Steps             int   // accepted steps
+	TrialSteps        int   // all trials, accepted or not
+	RejectedClassic   int   // rejections by the classic error test
+	RejectedValidator int   // rejections by the double-checking validator
+	FPRescues         int   // validator rejections later self-identified as false positives
+	Evals             int64 // fresh right-hand-side evaluations
+	Injections        int64 // corruptions applied to stage evaluations
+}
+
+// Integrator advances an initial-value problem with an embedded RK pair
+// under the classic adaptive controller, optionally guarded by a Validator.
+// Configure the exported fields, then call Init and Run (or Step).
+type Integrator struct {
+	Tab       *Tableau
+	Ctrl      Controller
+	Validator Validator
+	Hook      StageHook    // injection/observer hook for stage evaluations
+	OnTrial   func(*Trial) // harness observer, called for every trial
+	// StateHook may corrupt a transient copy of the solution vector as read
+	// by one trial — the paper's §V-D scenario of an SDC shifting x_{n-1}.
+	// The stored solution (and the history) stay clean, so a rejected trial
+	// recomputes from clean data. Returns the number of corruptions.
+	StateHook func(t float64, x la.Vec) int
+
+	MaxSteps     int     // safety bound on accepted steps (0 = 1<<20)
+	MaxTrials    int     // safety bound on trials per step (0 = 1000)
+	MinStep      float64 // below this the integration fails (0 = 1e-14 * span)
+	MaxStep      float64 // upper clamp on the step size (0 = none)
+	HistoryDepth int     // solution ring depth (0 = 8)
+	// NoReuseFirstStage disables carrying f(t_n, x_n) (from FSAL stages or
+	// the double-check's FProp) into the next step's first stage. Ablation
+	// switch for the first-same-as-last reuse of §V-B.
+	NoReuseFirstStage bool
+	// UsePI selects the PI.3.4 step-size law instead of the paper's
+	// elementary controller of Eq. (5) for the post-acceptance step update.
+	UsePI bool
+
+	sys     System
+	stepper *Stepper
+	hist    *History
+	t       float64
+	x       la.Vec
+	h       float64
+	tEnd    float64
+
+	fNext          la.Vec // cached f(t, x) reusable as the next first stage
+	haveFNext      bool
+	fNextCorrupted bool
+	xTrialBuf      la.Vec  // transient state copy for StateHook corruption
+	sErrPrev       float64 // previous accepted scaled error (PI controller)
+
+	weights la.Vec
+	Stats   Stats
+}
+
+// ErrStepSizeUnderflow is returned when the controller drives the step size
+// below MinStep, which in the SDC experiments signals a diverged (unstable)
+// solution.
+var ErrStepSizeUnderflow = errors.New("ode: step size underflow")
+
+// ErrTooManyTrials is returned when a single step exceeds MaxTrials
+// attempts, e.g. when a validator rejects indefinitely.
+var ErrTooManyTrials = errors.New("ode: too many trials for one step")
+
+// Init prepares the integrator to advance sys from x0 at t0 to tEnd with
+// initial step h0. x0 is copied.
+func (in *Integrator) Init(sys System, t0, tEnd float64, x0 la.Vec, h0 float64) {
+	if in.Tab == nil {
+		in.Tab = HeunEuler()
+	}
+	if in.Ctrl.Alpha == 0 {
+		in.Ctrl = DefaultController(1e-4, 1e-4)
+	}
+	if in.MaxSteps == 0 {
+		in.MaxSteps = 1 << 20
+	}
+	if in.MaxTrials == 0 {
+		in.MaxTrials = 1000
+	}
+	if in.HistoryDepth == 0 {
+		in.HistoryDepth = 8
+	}
+	if in.MinStep == 0 {
+		in.MinStep = 1e-14 * math.Max(1, math.Abs(tEnd-t0))
+	}
+	in.sys = sys
+	in.stepper = NewStepper(in.Tab, sys)
+	in.hist = NewHistory(in.HistoryDepth, sys.Dim())
+	in.t, in.tEnd = t0, tEnd
+	in.x = x0.Clone()
+	in.h = h0
+	in.fNext = la.NewVec(sys.Dim())
+	in.xTrialBuf = la.NewVec(sys.Dim())
+	in.haveFNext = false
+	in.fNextCorrupted = false
+	in.weights = la.NewVec(sys.Dim())
+	in.hist.Push(t0, 0, in.x)
+	in.Stats = Stats{}
+}
+
+// T returns the current time.
+func (in *Integrator) T() float64 { return in.t }
+
+// X returns a view of the current solution; copy to retain.
+func (in *Integrator) X() la.Vec { return in.x }
+
+// StepSize returns the step size the next trial will use.
+func (in *Integrator) StepSize() float64 { return in.h }
+
+// History returns the accepted-solution ring.
+func (in *Integrator) History() *History { return in.hist }
+
+// Done reports whether the integration reached tEnd.
+func (in *Integrator) Done() bool { return in.t >= in.tEnd-1e-14*math.Abs(in.tEnd) }
+
+// Step advances by one accepted step (possibly after several rejected
+// trials). It returns ErrStepSizeUnderflow or ErrTooManyTrials on failure.
+func (in *Integrator) Step() error {
+	h := in.h
+	if in.MaxStep > 0 && h > in.MaxStep {
+		h = in.MaxStep
+	}
+	if in.t+h > in.tEnd {
+		h = in.tEnd - in.t
+	}
+	validatorRejectedLast := false
+	for attempt := 1; ; attempt++ {
+		if attempt > in.MaxTrials {
+			return ErrTooManyTrials
+		}
+		if h < in.MinStep {
+			return ErrStepSizeUnderflow
+		}
+		var k1 la.Vec
+		if in.haveFNext {
+			k1 = in.fNext
+		}
+		xTrial := in.x
+		stateInj := 0
+		if in.StateHook != nil {
+			in.xTrialBuf.CopyFrom(in.x)
+			stateInj = in.StateHook(in.t, in.xTrialBuf)
+			if stateInj > 0 {
+				xTrial = in.xTrialBuf
+			}
+		}
+		res := in.stepper.Trial(in.t, h, xTrial, k1, in.Hook)
+		in.Stats.TrialSteps++
+		in.Stats.Evals += int64(res.Evals)
+		in.Stats.Injections += int64(res.Injections)
+
+		bad := res.XProp.HasNaNOrInf() || res.ErrVec.HasNaNOrInf()
+		var sErr1 float64
+		if bad {
+			sErr1 = math.Inf(1)
+		} else {
+			in.Ctrl.Weights(in.weights, res.XProp)
+			sErr1 = in.Ctrl.ScaledError(res.ErrVec, in.weights)
+		}
+
+		trial := Trial{
+			StepIndex: in.Stats.Steps, Attempt: attempt,
+			T: in.t, H: h,
+			XStart: in.x, XProp: res.XProp, Weights: in.weights,
+			SErr1:               sErr1,
+			Injections:          res.Injections,
+			StateInjections:     stateInj,
+			InheritedCorruption: in.haveFNext && in.fNextCorrupted,
+		}
+
+		var ctx *CheckContext
+		verdict := VerdictAccept
+		if sErr1 > 1 || math.IsNaN(sErr1) {
+			trial.ClassicReject = true
+		} else if in.Validator != nil {
+			ctx = &CheckContext{
+				StepIndex: in.Stats.Steps,
+				T:         in.t, H: h,
+				XStart: xTrial, XStored: in.x, XProp: res.XProp, ErrVec: res.ErrVec,
+				SErr1: sErr1, Weights: in.weights,
+				Hist: in.hist, Ctrl: &in.Ctrl, Tab: in.Tab,
+				Recomputation: validatorRejectedLast,
+				integ:         in,
+				fsalFProp:     res.FProp,
+			}
+			verdict = in.Validator.Validate(ctx)
+			trial.EstimateInjections = ctx.fPropInjs
+			in.Stats.Evals += int64(ctx.fPropEvals)
+			switch verdict {
+			case VerdictReject:
+				trial.ValidatorReject = true
+			case VerdictFPRescue:
+				trial.FPRescue = true
+				in.Stats.FPRescues++
+			}
+		}
+
+		accepted := !trial.ClassicReject && !trial.ValidatorReject
+		trial.Accepted = accepted
+		if in.OnTrial != nil {
+			in.OnTrial(&trial)
+		}
+
+		if accepted {
+			in.t += h
+			in.x.CopyFrom(res.XProp)
+			in.hist.Push(in.t, h, in.x)
+			in.Stats.Steps++
+			// Cache f(t, x) for reuse as the next first stage.
+			lastInj := 0
+			switch {
+			case in.NoReuseFirstStage:
+				in.haveFNext = false
+			case res.FProp != nil:
+				in.fNext.CopyFrom(res.FProp)
+				in.haveFNext = true
+				lastInj = res.LastStageInjections
+			case ctx != nil && ctx.fPropDone:
+				in.fNext.CopyFrom(ctx.fProp)
+				in.haveFNext = true
+				lastInj = ctx.fPropInjs
+			default:
+				in.haveFNext = false
+			}
+			in.fNextCorrupted = in.haveFNext && lastInj > 0
+			if in.UsePI {
+				in.h = in.Ctrl.PIStepSize(h, sErr1, in.sErrPrev, in.Tab.ControlOrder())
+			} else {
+				in.h = in.Ctrl.NewStepSize(h, sErr1, in.Tab.ControlOrder())
+			}
+			in.sErrPrev = sErr1
+			if in.MaxStep > 0 && in.h > in.MaxStep {
+				in.h = in.MaxStep
+			}
+			return nil
+		}
+
+		if trial.ClassicReject {
+			in.Stats.RejectedClassic++
+			if math.IsInf(sErr1, 1) {
+				h *= in.Ctrl.AlphaMin
+			} else {
+				h = in.Ctrl.NewStepSize(h, sErr1, in.Tab.ControlOrder())
+			}
+			validatorRejectedLast = false
+		} else {
+			// Validator rejection: recompute with the same step size so a
+			// clean recomputation reproduces the identical SErr_1. The
+			// recomputation is complete — the cached first stage is dropped
+			// in case it was itself corrupted (a clean cached stage is
+			// reproduced bit-identically by the fresh evaluation, so the
+			// false-positive self-detection is unaffected).
+			in.Stats.RejectedValidator++
+			in.haveFNext = false
+			validatorRejectedLast = true
+		}
+	}
+}
+
+// Run advances until tEnd (or failure). It returns the number of accepted
+// steps taken during this call.
+func (in *Integrator) Run() (int, error) {
+	start := in.Stats.Steps
+	for !in.Done() {
+		if in.Stats.Steps-start >= in.MaxSteps {
+			return in.Stats.Steps - start, fmt.Errorf("ode: exceeded MaxSteps=%d at t=%g", in.MaxSteps, in.t)
+		}
+		if err := in.Step(); err != nil {
+			return in.Stats.Steps - start, err
+		}
+	}
+	return in.Stats.Steps - start, nil
+}
+
+// RunTo advances until time tStop, landing on it exactly (tStop must not
+// exceed the tEnd given to Init). The integrator's state, history, and
+// detector remain live across calls, so output sampling does not perturb
+// the protected integration.
+func (in *Integrator) RunTo(tStop float64) error {
+	if tStop > in.tEnd {
+		return fmt.Errorf("ode: RunTo(%g) beyond tEnd=%g", tStop, in.tEnd)
+	}
+	saved := in.tEnd
+	in.tEnd = tStop
+	defer func() { in.tEnd = saved }()
+	for !in.Done() {
+		if err := in.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

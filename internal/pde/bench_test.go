@@ -1,0 +1,25 @@
+package pde
+
+import (
+	"testing"
+
+	"repro/internal/euler"
+	"repro/internal/grid"
+	"repro/internal/la"
+	"repro/internal/weno"
+)
+
+func benchEval(b *testing.B, scheme weno.Scheme, n int) {
+	g := grid.New2D(n, n, 1000, 1000)
+	s := NewEulerSystem(g, euler.DefaultGas(), scheme)
+	x := s.InitialState(euler.DefaultBubble())
+	dst := la.NewVec(s.Dim())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Eval(0, x, dst)
+	}
+}
+
+func BenchmarkBubbleEvalWENO32(b *testing.B)   { benchEval(b, weno.Weno5{}, 32) }
+func BenchmarkBubbleEvalWENO64(b *testing.B)   { benchEval(b, weno.Weno5{}, 64) }
+func BenchmarkBubbleEvalCRWENO32(b *testing.B) { benchEval(b, &weno.Crweno5{}, 32) }

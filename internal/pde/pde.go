@@ -1,0 +1,441 @@
+// Package pde assembles the method-of-lines right-hand side of the paper's
+// HyPar use case: conservative finite differences of the perturbation-form
+// Euler fluxes, reconstructed dimension-by-dimension with WENO5 or CRWENO5
+// and Rusanov (local Lax-Friedrichs) splitting, plus the gravitational
+// source. The result implements ode.System, so the adaptive integrators and
+// SDC detectors run on it unchanged.
+package pde
+
+import (
+	"fmt"
+
+	"repro/internal/euler"
+	"repro/internal/grid"
+	"repro/internal/la"
+	"repro/internal/weno"
+)
+
+// BC selects the boundary treatment of an axis.
+type BC int
+
+const (
+	// Periodic wraps the axis.
+	Periodic BC = iota
+	// Wall reflects the axis (slip wall): perturbations mirror, the normal
+	// momentum flips sign.
+	Wall
+	// Outflow extrapolates the boundary cell (zero-gradient), letting waves
+	// leave the domain.
+	Outflow
+)
+
+// EulerSystem is the rising-bubble right-hand side on a Cartesian grid.
+// Construct with NewEulerSystem, then use as an ode.System.
+type EulerSystem struct {
+	Grid   *grid.Grid
+	Gas    euler.Gas
+	Scheme weno.Scheme
+	BCs    [3]BC
+	// GravAxis is the vertical axis index (default 1 for 2-D grids).
+	GravAxis int
+	// Nu and Kappa are the parabolic coefficients (kinematic viscosity and
+	// thermal diffusivity); set through SetParabolic. Zero means purely
+	// hyperbolic, the bubble benchmark's default.
+	Nu, Kappa float64
+	// AlphaOverride, when non-nil (len 3), replaces the internally computed
+	// per-axis Rusanov splitting speeds — distributed solvers set it to the
+	// globally Allreduced maxima so every rank splits fluxes identically.
+	AlphaOverride []float64
+
+	d     int   // active dimensions
+	nvar  int   // d + 2
+	axes  []int // active axis list
+	np    int   // grid points
+	lines [3][]grid.Line
+	bg    [3][]float64 // background rho/p/E per point
+	scr   *scratch
+}
+
+type scratch struct {
+	ufields  [][]float64 // velocity components + T' for the parabolic terms
+	qline    [][]float64 // per-variable padded line values
+	flatline []float64   // vertical coordinate per padded cell
+	fP       [][]float64 // padded split flux + per variable
+	fM       [][]float64 // padded reversed split flux - per variable
+	fhatP    []float64
+	fhatM    []float64
+	fbuf     []float64
+	deriv    []float64
+	maxbuf   []float64
+}
+
+// NewEulerSystem builds the system. The scheme defaults to WENO5, the
+// boundary conditions to periodic-x / wall-vertical, matching the bubble
+// benchmark.
+func NewEulerSystem(g *grid.Grid, gas euler.Gas, scheme weno.Scheme) *EulerSystem {
+	s := &EulerSystem{Grid: g, Gas: gas, Scheme: scheme, GravAxis: 1}
+	if scheme == nil {
+		s.Scheme = weno.Weno5{}
+	}
+	s.BCs = [3]BC{Periodic, Wall, Periodic}
+	s.axes = g.ActiveAxes()
+	s.d = len(s.axes)
+	s.nvar = s.d + 2
+	s.np = g.Points()
+	if !g.Active(s.GravAxis) {
+		// 1-D or gravity-free setups: no vertical axis, no buoyancy source.
+		s.GravAxis = -1
+	}
+	maxLen := 0
+	for _, ax := range s.axes {
+		s.lines[ax] = g.Lines(ax, nil)
+		if g.N[ax] > maxLen {
+			maxLen = g.N[ax]
+		}
+	}
+	// Precompute the background columns per point.
+	for f := 0; f < 3; f++ {
+		s.bg[f] = make([]float64, s.np)
+	}
+	for k := 0; k < g.N[2]; k++ {
+		for j := 0; j < g.N[1]; j++ {
+			var z float64
+			switch s.GravAxis {
+			case 1:
+				z = g.Coord(1, j)
+			case 2:
+				z = g.Coord(2, k)
+			}
+			rho, p, e := gas.Background(z)
+			for i := 0; i < g.N[0]; i++ {
+				if s.GravAxis == 0 {
+					rho, p, e = gas.Background(g.Coord(0, i))
+				}
+				idx := g.Index(i, j, k)
+				s.bg[0][idx] = rho
+				s.bg[1][idx] = p
+				s.bg[2][idx] = e
+			}
+		}
+	}
+	pad := maxLen + 2*weno.Ghost
+	sc := &scratch{
+		flatline: make([]float64, pad),
+		fhatP:    make([]float64, maxLen+1),
+		fhatM:    make([]float64, maxLen+1),
+		fbuf:     make([]float64, s.nvar),
+		deriv:    make([]float64, maxLen),
+		maxbuf:   make([]float64, 3),
+	}
+	sc.qline = make([][]float64, s.nvar)
+	sc.fP = make([][]float64, s.nvar)
+	sc.fM = make([][]float64, s.nvar)
+	for v := 0; v < s.nvar; v++ {
+		sc.qline[v] = make([]float64, pad)
+		sc.fP[v] = make([]float64, pad)
+		sc.fM[v] = make([]float64, pad)
+	}
+	s.scr = sc
+	return s
+}
+
+// Dim implements ode.System: nvar values per grid point, variable-major.
+func (s *EulerSystem) Dim() int { return s.nvar * s.np }
+
+// VarSlice returns the sub-slice of x holding variable v.
+func (s *EulerSystem) VarSlice(x la.Vec, v int) []float64 {
+	return x[v*s.np : (v+1)*s.np]
+}
+
+// axisIndexOf maps a grid axis to its position among the active axes
+// (the momentum component index).
+func (s *EulerSystem) axisIndexOf(ax int) int {
+	for i, a := range s.axes {
+		if a == ax {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("pde: axis %d not active", ax))
+}
+
+// ghostIndex maps a possibly out-of-range line index to an interior index
+// and a sign for the normal momentum under the axis BC.
+func ghostIndex(i, n int, bc BC) (int, float64) {
+	switch {
+	case i >= 0 && i < n:
+		return i, 1
+	case bc == Periodic:
+		return ((i % n) + n) % n, 1
+	case bc == Outflow:
+		if i < 0 {
+			return 0, 1
+		}
+		return n - 1, 1
+	case i < 0:
+		return -1 - i, -1
+	default:
+		return 2*n - 1 - i, -1
+	}
+}
+
+// Eval implements ode.System.
+func (s *EulerSystem) Eval(t float64, x la.Vec, dst la.Vec) {
+	g := s.Grid
+	sc := s.scr
+	dst.Zero()
+
+	// Pass 1: global Rusanov speeds per axis and the gravity source.
+	alpha := sc.maxbuf
+	for i := range alpha {
+		alpha[i] = 0
+	}
+	var q [5]float64
+	gm := -1
+	if s.GravAxis >= 0 {
+		gm = s.axisIndexOf(s.GravAxis)
+	}
+	for idx := 0; idx < s.np; idx++ {
+		for v := 0; v < s.nvar; v++ {
+			q[v] = x[v*s.np+idx]
+		}
+		pt := s.Gas.Unpack(q[:s.nvar], s.d, s.bg[0][idx], s.bg[1][idx], s.bg[2][idx])
+		for ai, ax := range s.axes {
+			if w := s.Gas.MaxWave(pt, ai); w > alpha[ax] {
+				alpha[ax] = w
+			}
+		}
+		if gm < 0 {
+			continue
+		}
+		// Gravity source: d(m_vert)/dt -= rho' g ; dE'/dt -= rho g w.
+		rhoP := q[0]
+		w := pt.M[gm] / pt.Rho
+		dst[(1+gm)*s.np+idx] -= rhoP * s.Gas.G
+		dst[(1+s.d)*s.np+idx] -= pt.Rho * s.Gas.G * w
+	}
+
+	if s.AlphaOverride != nil {
+		copy(alpha, s.AlphaOverride)
+	}
+
+	// Pass 2: flux divergence axis by axis.
+	for _, ax := range s.axes {
+		n := g.N[ax]
+		bc := s.BCs[ax]
+		dxi := 1 / g.Dx[ax]
+		a := alpha[ax]
+		ami := s.axisIndexOf(ax)
+		for _, ln := range s.lines[ax] {
+			// Gather padded perturbation lines; flatline remembers which interior
+			// point (after BC mapping) backs each padded cell so the flux pass
+			// can look up its background column.
+			for p := -weno.Ghost; p < n+weno.Ghost; p++ {
+				src, sign := ghostIndex(p, n, bc)
+				flat := ln.Start + src*ln.Stride
+				for v := 0; v < s.nvar; v++ {
+					val := x[v*s.np+flat]
+					if v == 1+ami && sign < 0 {
+						val = -val
+					}
+					sc.qline[v][p+weno.Ghost] = val
+				}
+				sc.flatline[p+weno.Ghost] = float64(flat)
+			}
+			// Compute split fluxes along the padded line.
+			for p := -weno.Ghost; p < n+weno.Ghost; p++ {
+				jp := p + weno.Ghost
+				flat := int(sc.flatline[jp])
+				for v := 0; v < s.nvar; v++ {
+					q[v] = sc.qline[v][jp]
+				}
+				pt := s.Gas.Unpack(q[:s.nvar], s.d, s.bg[0][flat], s.bg[1][flat], s.bg[2][flat])
+				euler.Flux(pt, s.d, ami, sc.fbuf)
+				rev := n + 2*weno.Ghost - 1 - jp
+				for v := 0; v < s.nvar; v++ {
+					u := sc.qline[v][jp]
+					sc.fP[v][jp] = 0.5 * (sc.fbuf[v] + a*u)
+					sc.fM[v][rev] = 0.5 * (sc.fbuf[v] - a*u)
+				}
+			}
+			// Reconstruct and difference per variable.
+			for v := 0; v < s.nvar; v++ {
+				s.Scheme.ReconstructLeft(sc.fhatP[:n+1], sc.fP[v][:n+2*weno.Ghost])
+				s.Scheme.ReconstructLeft(sc.fhatM[:n+1], sc.fM[v][:n+2*weno.Ghost])
+				for i := 0; i < n; i++ {
+					fr := sc.fhatP[i+1] + sc.fhatM[n-1-i]
+					fl := sc.fhatP[i] + sc.fhatM[n-i]
+					sc.deriv[i] = -(fr - fl) * dxi
+				}
+				flat := ln.Start
+				for i := 0; i < n; i++ {
+					dst[v*s.np+flat] += sc.deriv[i]
+					flat += ln.Stride
+				}
+			}
+		}
+	}
+
+	// Pass 3: parabolic terms (viscosity / conduction), when enabled.
+	s.addParabolic(x, dst)
+}
+
+// LocalMaxWave returns this system's per-axis maximum wave speeds for the
+// state x — the local contribution a distributed solver reduces globally
+// before setting AlphaOverride.
+func (s *EulerSystem) LocalMaxWave(x la.Vec) [3]float64 {
+	var q [5]float64
+	var out [3]float64
+	for idx := 0; idx < s.np; idx++ {
+		for v := 0; v < s.nvar; v++ {
+			q[v] = x[v*s.np+idx]
+		}
+		pt := s.Gas.Unpack(q[:s.nvar], s.d, s.bg[0][idx], s.bg[1][idx], s.bg[2][idx])
+		for ai, ax := range s.axes {
+			if w := s.Gas.MaxWave(pt, ai); w > out[ax] {
+				out[ax] = w
+			}
+		}
+	}
+	return out
+}
+
+// MaxDt returns the CFL-stable step size for the state x.
+func (s *EulerSystem) MaxDt(x la.Vec, cfl float64) float64 {
+	var q [5]float64
+	dt := 1e300
+	for idx := 0; idx < s.np; idx++ {
+		for v := 0; v < s.nvar; v++ {
+			q[v] = x[v*s.np+idx]
+		}
+		pt := s.Gas.Unpack(q[:s.nvar], s.d, s.bg[0][idx], s.bg[1][idx], s.bg[2][idx])
+		for ai, ax := range s.axes {
+			if w := s.Gas.MaxWave(pt, ai); w > 0 {
+				if d := cfl * s.Grid.Dx[ax] / w; d < dt {
+					dt = d
+				}
+			}
+		}
+	}
+	return dt
+}
+
+// InitialState returns the bubble initial condition as a state vector.
+func (s *EulerSystem) InitialState(b euler.BubbleSpec) la.Vec {
+	g := s.Grid
+	x0 := la.NewVec(s.Dim())
+	q := make([]float64, s.nvar)
+	for k := 0; k < g.N[2]; k++ {
+		for j := 0; j < g.N[1]; j++ {
+			for i := 0; i < g.N[0]; i++ {
+				idx := g.Index(i, j, k)
+				var pos [3]float64
+				coords := [3]int{i, j, k}
+				for ai, ax := range s.axes {
+					pos[ai] = g.Coord(ax, coords[ax])
+				}
+				var z float64
+				if s.GravAxis >= 0 {
+					z = g.Coord(s.GravAxis, coords[s.GravAxis])
+				}
+				s.Gas.InitialPerturbation(b, pos, z, s.d, q)
+				for v := 0; v < s.nvar; v++ {
+					x0[v*s.np+idx] = q[v]
+				}
+			}
+		}
+	}
+	return x0
+}
+
+// SetParabolic enables the parabolic part of the hyperbolic-parabolic
+// system (HyPar's second operator class): kinematic viscosity nu diffusing
+// the velocity components and thermal diffusivity kappa diffusing the
+// temperature *perturbation* (conduction relative to the balanced
+// background, so the hydrostatic rest state remains an exact steady state).
+// Both use second-order central differences with the axis BCs.
+func (s *EulerSystem) SetParabolic(nu, kappa float64) {
+	s.Nu, s.Kappa = nu, kappa
+	if s.scr.ufields == nil {
+		s.scr.ufields = make([][]float64, s.d+1)
+		for i := range s.scr.ufields {
+			s.scr.ufields[i] = make([]float64, s.np)
+		}
+	}
+}
+
+// addParabolic accumulates nu*Lap(u_i) into the momentum tendencies (times
+// rho) and kappa*Lap(T') into the energy tendency (times rho*Cv), all with
+// the same ghost-cell boundary treatment as the fluxes.
+func (s *EulerSystem) addParabolic(x la.Vec, dst la.Vec) {
+	if s.Nu == 0 && s.Kappa == 0 {
+		return
+	}
+	g := s.Grid
+	var q [5]float64
+	uf := s.scr.ufields // d velocity fields + temperature perturbation
+	cv := s.Gas.R / (s.Gas.Gamma - 1)
+	for idx := 0; idx < s.np; idx++ {
+		for v := 0; v < s.nvar; v++ {
+			q[v] = x[v*s.np+idx]
+		}
+		pt := s.Gas.Unpack(q[:s.nvar], s.d, s.bg[0][idx], s.bg[1][idx], s.bg[2][idx])
+		for i := 0; i < s.d; i++ {
+			uf[i][idx] = pt.M[i] / pt.Rho
+		}
+		// T' = T - TBar, with T = p/(R rho).
+		tBar := s.bg[1][idx] / (s.Gas.R * s.bg[0][idx])
+		uf[s.d][idx] = pt.P/(s.Gas.R*pt.Rho) - tBar
+	}
+	for _, ax := range s.axes {
+		n := g.N[ax]
+		bc := s.BCs[ax]
+		ami := s.axisIndexOf(ax)
+		coef := 1 / (g.Dx[ax] * g.Dx[ax])
+		for _, ln := range s.lines[ax] {
+			for i := 0; i < n; i++ {
+				flat := ln.Start + i*ln.Stride
+				li, lSign := ghostIndex(i-1, n, bc)
+				ri, rSign := ghostIndex(i+1, n, bc)
+				lFlat := ln.Start + li*ln.Stride
+				rFlat := ln.Start + ri*ln.Stride
+				rho := s.bg[0][flat] + x[flat]
+				for f := 0; f <= s.d; f++ {
+					lv, rv := uf[f][lFlat], uf[f][rFlat]
+					// Normal velocity flips sign across a wall.
+					if f == ami {
+						lv *= lSign
+						rv *= rSign
+					}
+					lap := coef * (lv - 2*uf[f][flat] + rv)
+					if f < s.d {
+						if s.Nu != 0 {
+							dst[(1+f)*s.np+flat] += s.Nu * rho * lap
+						}
+					} else if s.Kappa != 0 {
+						dst[(1+s.d)*s.np+flat] += s.Kappa * rho * cv * lap
+					}
+				}
+			}
+		}
+	}
+}
+
+// Integrals returns the domain integrals of each conserved perturbation
+// variable (sum * cell volume) — the conservation monitor: with periodic/
+// wall boundaries the mass and momentum integrals are invariants of the
+// semi-discrete system, so their drift measures corruption or a scheme bug.
+func (s *EulerSystem) Integrals(x la.Vec) []float64 {
+	vol := 1.0
+	for _, ax := range s.axes {
+		vol *= s.Grid.Dx[ax]
+	}
+	out := make([]float64, s.nvar)
+	for v := 0; v < s.nvar; v++ {
+		var sum float64
+		for _, val := range s.VarSlice(x, v) {
+			sum += val
+		}
+		out[v] = sum * vol
+	}
+	return out
+}

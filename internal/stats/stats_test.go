@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilsonKnownValue(t *testing.T) {
+	// Classic check: 0/10 successes at 95% gives hi ~ 0.278.
+	lo, hi := Wilson(0, 10, Z95)
+	if lo != 0 {
+		t.Fatalf("lo = %g", lo)
+	}
+	if math.Abs(hi-0.2775) > 0.005 {
+		t.Fatalf("hi = %g, want ~0.278", hi)
+	}
+}
+
+func TestWilsonEmptyTrials(t *testing.T) {
+	lo, hi := Wilson(0, 0, Z95)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty interval [%g, %g]", lo, hi)
+	}
+}
+
+func TestWilsonContainsPointEstimateProperty(t *testing.T) {
+	f := func(k, n uint16) bool {
+		nn := int(n%5000) + 1
+		kk := int(k) % (nn + 1)
+		lo, hi := Wilson(kk, nn, Z95)
+		p := float64(kk) / float64(nn)
+		return lo <= p+1e-12 && p <= hi+1e-12 && lo >= 0 && hi <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWilsonShrinksWithTrials(t *testing.T) {
+	small := NewRate(10, 100)
+	large := NewRate(1000, 10000)
+	if large.HalfWidthPct() >= small.HalfWidthPct() {
+		t.Fatalf("interval did not shrink: %g vs %g", large.HalfWidthPct(), small.HalfWidthPct())
+	}
+	// At the paper's 10000-injection bar a 10% rate is known within ~0.6%.
+	if large.HalfWidthPct() > 0.7 {
+		t.Fatalf("10k-trial half width %g%%, want < 0.7%%", large.HalfWidthPct())
+	}
+}
+
+func TestRateString(t *testing.T) {
+	r := NewRate(50, 1000)
+	s := r.String()
+	if !strings.Contains(s, "5.0%") || !strings.Contains(s, "[") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestSeparated(t *testing.T) {
+	a := NewRate(900, 1000) // ~90%
+	b := NewRate(100, 1000) // ~10%
+	if !Separated(a, b) {
+		t.Fatal("clearly different rates not separated")
+	}
+	c := NewRate(105, 1000)
+	if Separated(b, c) {
+		t.Fatal("overlapping rates reported separated")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Fatalf("mean = %g", mean)
+	}
+	if math.Abs(std-2.138) > 0.01 {
+		t.Fatalf("std = %g", std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty series should be zeros")
+	}
+	if m, s := MeanStd([]float64{3}); m != 3 || s != 0 {
+		t.Fatalf("single sample: %g %g", m, s)
+	}
+}

@@ -1,0 +1,40 @@
+package weno
+
+import (
+	"math"
+	"testing"
+)
+
+func benchLine(n int) []float64 {
+	f := make([]float64, n+2*Ghost)
+	for i := range f {
+		f[i] = math.Sin(0.1 * float64(i))
+	}
+	return f
+}
+
+func BenchmarkWeno5(b *testing.B) {
+	f := benchLine(256)
+	fhat := make([]float64, 257)
+	b.SetBytes(256 * 8)
+	for i := 0; i < b.N; i++ {
+		Weno5{}.ReconstructLeft(fhat, f)
+	}
+}
+
+func BenchmarkWenoZ5(b *testing.B) {
+	f := benchLine(256)
+	fhat := make([]float64, 257)
+	for i := 0; i < b.N; i++ {
+		WenoZ5{}.ReconstructLeft(fhat, f)
+	}
+}
+
+func BenchmarkCrweno5(b *testing.B) {
+	f := benchLine(256)
+	fhat := make([]float64, 257)
+	s := &Crweno5{}
+	for i := 0; i < b.N; i++ {
+		s.ReconstructLeft(fhat, f)
+	}
+}

@@ -1,0 +1,223 @@
+// Package weno implements the two spatial reconstruction schemes of the
+// paper's HyPar use case: the fifth-order WENO scheme of Jiang & Shu and
+// the fifth-order compact CRWENO scheme of Ghosh & Baeder (which requires a
+// tridiagonal solve per line). Both operate on 1-D lines of cell/node
+// values padded with ghost cells; multi-dimensional solvers sweep the
+// kernels dimension by dimension.
+//
+// The kernels compute left-biased interface values f̂_{i+1/2}; right-biased
+// reconstruction mirrors the line. Conservative flux differencing with
+// Rusanov (local Lax-Friedrichs) splitting lives in the pde package.
+package weno
+
+import (
+	"fmt"
+
+	"repro/internal/la"
+)
+
+// Ghost is the number of ghost cells each scheme needs on each side of a
+// line.
+const Ghost = 3
+
+// Eps is the regularization constant in the nonlinear weights.
+const Eps = 1e-6
+
+// Scheme reconstructs left-biased interface values along a padded line.
+type Scheme interface {
+	Name() string
+	// ReconstructLeft fills fhat[k] with the left-biased reconstruction of
+	// the interface between cells k-1 and k of the interior, given f of
+	// length n + 2*Ghost (interior length n, fhat length n+1). Interior
+	// cell i lives at f[i+Ghost]; interface k at x_{k-1/2} uses upwind
+	// cells ..., k-2, k-1 (plus downwind support).
+	ReconstructLeft(fhat, f []float64)
+}
+
+// Smoothness computes the Jiang-Shu smoothness indicators for the 5-point
+// stencil centered at cell values (m2, m1, c, p1, p2); exported for the
+// distributed compact-scheme assembly in internal/dist.
+func Smoothness(m2, m1, c, p1, p2 float64) (b0, b1, b2 float64) {
+	b0 = 13.0/12.0*(m2-2*m1+c)*(m2-2*m1+c) + 0.25*(m2-4*m1+3*c)*(m2-4*m1+3*c)
+	b1 = 13.0/12.0*(m1-2*c+p1)*(m1-2*c+p1) + 0.25*(m1-p1)*(m1-p1)
+	b2 = 13.0/12.0*(c-2*p1+p2)*(c-2*p1+p2) + 0.25*(3*c-4*p1+p2)*(3*c-4*p1+p2)
+	return
+}
+
+// Weno5 is the classic fifth-order WENO scheme (Jiang & Shu 1996).
+type Weno5 struct{}
+
+// Name implements Scheme.
+func (Weno5) Name() string { return "weno5" }
+
+// ReconstructLeft implements Scheme.
+func (Weno5) ReconstructLeft(fhat, f []float64) {
+	n := len(f) - 2*Ghost
+	if n < 1 || len(fhat) != n+1 {
+		panic(fmt.Sprintf("weno: bad line sizes: len(f)=%d len(fhat)=%d", len(f), len(fhat)))
+	}
+	for k := 0; k <= n; k++ {
+		// Interface k sits between interior cells k-1 and k; the upwind
+		// (left) cell is j = k-1+Ghost in padded coordinates.
+		j := k - 1 + Ghost
+		m2, m1, c, p1, p2 := f[j-2], f[j-1], f[j], f[j+1], f[j+2]
+		b0, b1, b2 := Smoothness(m2, m1, c, p1, p2)
+		a0 := 0.1 / ((Eps + b0) * (Eps + b0))
+		a1 := 0.6 / ((Eps + b1) * (Eps + b1))
+		a2 := 0.3 / ((Eps + b2) * (Eps + b2))
+		s := a0 + a1 + a2
+		w0, w1, w2 := a0/s, a1/s, a2/s
+		q0 := (2*m2 - 7*m1 + 11*c) / 6
+		q1 := (-m1 + 5*c + 2*p1) / 6
+		q2 := (2*c + 5*p1 - p2) / 6
+		fhat[k] = w0*q0 + w1*q1 + w2*q2
+	}
+}
+
+// Crweno5 is the fifth-order compact-reconstruction WENO scheme of Ghosh &
+// Baeder (2012). The nonlinear weights combine three second-order compact
+// candidates into a tridiagonal system for the interface values; boundary
+// interfaces close with the standard WENO5 reconstruction, as HyPar does
+// for non-periodic lines.
+type Crweno5 struct {
+	// Periodic solves the cyclic tridiagonal system instead of using WENO5
+	// boundary closures.
+	Periodic bool
+
+	al, ad, au, rhs, scratch []float64
+}
+
+// Name implements Scheme.
+func (c *Crweno5) Name() string { return "crweno5" }
+
+// ReconstructLeft implements Scheme.
+func (c *Crweno5) ReconstructLeft(fhat, f []float64) {
+	n := len(f) - 2*Ghost
+	if n < 1 || len(fhat) != n+1 {
+		panic(fmt.Sprintf("weno: bad line sizes: len(f)=%d len(fhat)=%d", len(f), len(fhat)))
+	}
+	m := n + 1
+	if cap(c.al) < m {
+		c.al = make([]float64, m)
+		c.ad = make([]float64, m)
+		c.au = make([]float64, m)
+		c.rhs = make([]float64, m)
+		c.scratch = make([]float64, 3*m)
+	}
+	al, ad, au, rhs := c.al[:m], c.ad[:m], c.au[:m], c.rhs[:m]
+
+	var w5 Weno5
+	for k := 0; k <= n; k++ {
+		j := k - 1 + Ghost
+		m2, m1, cc, p1, p2 := f[j-2], f[j-1], f[j], f[j+1], f[j+2]
+		b0, b1, b2 := Smoothness(m2, m1, cc, p1, p2)
+		// Optimal compact weights c = (2/10, 5/10, 3/10).
+		a0 := 0.2 / ((Eps + b0) * (Eps + b0))
+		a1 := 0.5 / ((Eps + b1) * (Eps + b1))
+		a2 := 0.3 / ((Eps + b2) * (Eps + b2))
+		s := a0 + a1 + a2
+		w0, w1, w2 := a0/s, a1/s, a2/s
+		// LHS: (2w0+w1)/3 fhat_{k-1} + ((w0+2(w1+w2))/3) fhat_k + (w2/3) fhat_{k+1}
+		al[k] = (2*w0 + w1) / 3
+		ad[k] = (w0 + 2*(w1+w2)) / 3
+		au[k] = w2 / 3
+		// RHS: (w0/6) f_{k-2} + ((5(w0+w1)+w2)/6) f_{k-1} + ((w1+5w2)/6) f_k
+		rhs[k] = w0/6*m1 + (5*(w0+w1)+w2)/6*cc + (w1+5*w2)/6*p1
+	}
+	if c.Periodic {
+		// Interfaces 0 and n are the same point; solve the cyclic system
+		// over interfaces 0..n-1 and copy.
+		a2, d2, u2, r2 := al[:n], ad[:n], au[:n], rhs[:n]
+		la.TridiagSolveCyclic(a2, d2, u2, r2, c.scratch)
+		copy(fhat[:n], r2)
+		fhat[n] = fhat[0]
+		return
+	}
+	// WENO5 closures at the first and last interfaces: identity rows.
+	// The Weno5 kernel runs on a 1-cell interior whose padded support are
+	// the cells around the target interface.
+	closure := func(k int) float64 {
+		j := k - 1 + Ghost // upwind cell of interface k in padded coords
+		var mini [1 + 2*Ghost]float64
+		// The kernel's stencil only touches j-2..j+2; the outermost pad
+		// cells of mini are never read.
+		copy(mini[1:2*Ghost], f[j-Ghost+1:j+Ghost])
+		var out [2]float64
+		w5.ReconstructLeft(out[:], mini[:])
+		return out[1]
+	}
+	fhat0 := closure(0)
+	fhatN := closure(n)
+	al[0], ad[0], au[0], rhs[0] = 0, 1, 0, fhat0
+	al[n], ad[n], au[n], rhs[n] = 0, 1, 0, fhatN
+	la.TridiagSolve(al, ad, au, rhs, c.scratch)
+	copy(fhat, rhs)
+}
+
+// ReverseLine fills dst with src reversed; right-biased reconstruction runs
+// the left-biased kernel on the reversed line.
+func ReverseLine(dst, src []float64) {
+	n := len(src)
+	if len(dst) != n {
+		panic("weno: ReverseLine length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = src[n-1-i]
+	}
+}
+
+// ByName returns the scheme named "weno5", "wenoz5", or "crweno5"
+// (optionally "crweno5-periodic").
+func ByName(name string) (Scheme, error) {
+	switch name {
+	case "weno5":
+		return Weno5{}, nil
+	case "wenoz5":
+		return WenoZ5{}, nil
+	case "crweno5":
+		return &Crweno5{}, nil
+	case "crweno5-periodic":
+		return &Crweno5{Periodic: true}, nil
+	}
+	return nil, fmt.Errorf("weno: unknown scheme %q", name)
+}
+
+// WenoZ5 is the fifth-order WENO-Z scheme (Borges, Carmona, Costa & Don
+// 2008): the classic WENO5 with global-smoothness-rescaled weights
+// alpha_k = d_k (1 + (tau5/(beta_k+eps))^2), tau5 = |beta0-beta2|. It keeps
+// the formal fifth order at smooth extrema where WENO5 degenerates, at the
+// same stencil cost. Included as a scheme-diversity extension beyond the
+// paper's WENO5/CRWENO5.
+type WenoZ5 struct{}
+
+// Name implements Scheme.
+func (WenoZ5) Name() string { return "wenoz5" }
+
+// ReconstructLeft implements Scheme.
+func (WenoZ5) ReconstructLeft(fhat, f []float64) {
+	n := len(f) - 2*Ghost
+	if n < 1 || len(fhat) != n+1 {
+		panic(fmt.Sprintf("weno: bad line sizes: len(f)=%d len(fhat)=%d", len(f), len(fhat)))
+	}
+	for k := 0; k <= n; k++ {
+		j := k - 1 + Ghost
+		m2, m1, c, p1, p2 := f[j-2], f[j-1], f[j], f[j+1], f[j+2]
+		b0, b1, b2 := Smoothness(m2, m1, c, p1, p2)
+		tau := b0 - b2
+		if tau < 0 {
+			tau = -tau
+		}
+		r0 := tau / (b0 + Eps)
+		r1 := tau / (b1 + Eps)
+		r2 := tau / (b2 + Eps)
+		a0 := 0.1 * (1 + r0*r0)
+		a1 := 0.6 * (1 + r1*r1)
+		a2 := 0.3 * (1 + r2*r2)
+		s := a0 + a1 + a2
+		w0, w1, w2 := a0/s, a1/s, a2/s
+		q0 := (2*m2 - 7*m1 + 11*c) / 6
+		q1 := (-m1 + 5*c + 2*p1) / 6
+		q2 := (2*c + 5*p1 - p2) / 6
+		fhat[k] = w0*q0 + w1*q1 + w2*q2
+	}
+}
