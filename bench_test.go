@@ -5,6 +5,7 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -227,6 +228,31 @@ func BenchmarkAblationScheme(b *testing.B) {
 				b.ReportMetric(res.Rates.TPR(), "TPR_crweno5_%")
 			}
 		}
+	}
+}
+
+// BenchmarkCampaignWorkers runs one campaign cell on the serial reference
+// engine and on the parallel engine, reporting the measured wall-clock
+// speedup (CPUSeconds / WallSeconds). The rates are bitwise identical across
+// sub-benchmarks; only the timing differs.
+func BenchmarkCampaignWorkers(b *testing.B) {
+	p := benchProblem()
+	for _, w := range []int{1, 2, 0} {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Run(harness.Config{Problem: p, Tab: ode.HeunEuler(), Injector: inject.Scaled{},
+					Detector: harness.IBDC, Seed: 7, MinInjections: 300, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Speedup, "speedup_x")
+				b.ReportMetric(res.Rates.TPR(), "TPR_%")
+			}
+		})
 	}
 }
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,10 +37,11 @@ func main() {
 		probSel = flag.String("problem", "burgers", "campaign workload: burgers (1-D WENO5, fast) or bubble (2-D rising bubble, slow)")
 		bubbleN = flag.Int("bubble-n", 32, "bubble grid resolution when -problem bubble or for fig2")
 		outDir  = flag.String("out", "", "directory for figure data files (default: no files)")
+		workers = flag.Int("workers", 0, "campaign workers per cell: 0 = all cores, 1 = serial reference engine (identical numbers either way)")
 	)
 	flag.Parse()
 
-	opts := harness.Options{Seed: *seed, MinInjections: *minInj}
+	opts := harness.Options{Seed: *seed, MinInjections: *minInj, Workers: *workers}
 	switch *probSel {
 	case "burgers":
 		// harness default
@@ -76,8 +78,11 @@ func main() {
 	}
 	if want("table3") {
 		run("table3", func() error {
-			_, err := harness.Table3(os.Stdout, opts, ode.HeunEuler(), 0.01)
-			return err
+			res, err := harness.Table3(os.Stdout, opts, ode.HeunEuler(), 0.01)
+			if err != nil {
+				return err
+			}
+			return printCampaignJSON("table3", res)
 		})
 	}
 	if want("table3bs") {
@@ -144,6 +149,52 @@ func main() {
 	if *exp != "all" && !isKnown(*exp) {
 		fatalf("unknown experiment %q", *exp)
 	}
+}
+
+// printCampaignJSON archives an experiment's per-detector campaign
+// performance — including the parallel engine's measured wall-clock speedup
+// (CPUSeconds / WallSeconds) — as one JSON line for post-processing.
+func printCampaignJSON(exp string, res map[harness.DetectorKind]*harness.Result) error {
+	type cell struct {
+		Detector    string  `json:"detector"`
+		FPRPct      float64 `json:"fpr_pct"`
+		TPRPct      float64 `json:"tpr_pct"`
+		SFNRPct     float64 `json:"sfnr_pct"`
+		Injections  int     `json:"injections"`
+		Runs        int     `json:"runs"`
+		Workers     int     `json:"workers"`
+		WallSeconds float64 `json:"wall_seconds"`
+		CPUSeconds  float64 `json:"cpu_seconds"`
+		Speedup     float64 `json:"speedup"`
+	}
+	report := struct {
+		Experiment string `json:"experiment"`
+		Cells      []cell `json:"cells"`
+	}{Experiment: exp}
+	for _, det := range []harness.DetectorKind{harness.Classic, harness.LBDC, harness.IBDC, harness.Replication} {
+		r, ok := res[det]
+		if !ok {
+			continue
+		}
+		report.Cells = append(report.Cells, cell{
+			Detector:    string(det),
+			FPRPct:      r.Rates.FPR(),
+			TPRPct:      r.Rates.TPR(),
+			SFNRPct:     r.Rates.SFNR(),
+			Injections:  r.Rates.Injections,
+			Runs:        r.Rates.Runs,
+			Workers:     r.Workers,
+			WallSeconds: r.WallSeconds,
+			CPUSeconds:  r.CPUSeconds,
+			Speedup:     r.Speedup,
+		})
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("json: %s\n", data)
+	return nil
 }
 
 func isKnown(e string) bool {

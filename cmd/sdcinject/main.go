@@ -75,6 +75,7 @@ func main() {
 		overhead  = flag.Bool("overhead", false, "also measure memory/compute overheads vs clean classic run")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
 		replicas  = flag.Int("replicas", 0, "run k seed-varied replicas and report mean +- std of the rates")
+		workers   = flag.Int("workers", 0, "campaign workers: 0 = all cores, 1 = serial reference engine (identical numbers either way)")
 	)
 	flag.Parse()
 
@@ -108,6 +109,7 @@ func main() {
 		NoAdapt:       *noAdapt,
 		MaxNorm:       *maxNorm,
 		StateProb:     *stateProb,
+		Workers:       *workers,
 	}
 	if *fixedQ > 0 {
 		cfg.FixedOrder = *fixedQ + 1
@@ -167,7 +169,11 @@ func printResult(res *harness.Result) {
 	if res.MeanOrder > 0 {
 		fmt.Printf("mean order:    %.2f\n", res.MeanOrder)
 	}
-	fmt.Printf("work:          %d steps, %d evals, %.2f s wall\n", res.Steps, res.Evals, res.WallSeconds)
+	fmt.Printf("work:          %d steps, %d evals, %.2f s wall", res.Steps, res.Evals, res.WallSeconds)
+	if res.Workers > 1 {
+		fmt.Printf(" (%d workers, %.1fx speedup)", res.Workers, res.Speedup)
+	}
+	fmt.Println()
 }
 
 func fatal(err error) {

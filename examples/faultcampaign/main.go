@@ -18,6 +18,7 @@ func main() {
 	injections := flag.Int("inj", 1000, "minimum SDC injections per detector")
 	injector := flag.String("injector", "scaled", "singlebit, multibit, or scaled")
 	method := flag.String("method", "bogacki-shampine", "heun-euler, bogacki-shampine, or dormand-prince")
+	workers := flag.Int("workers", 0, "campaign workers: 0 = all cores, 1 = serial (identical numbers either way)")
 	flag.Parse()
 
 	inj, err := inject.ByName(*injector)
@@ -47,6 +48,7 @@ func main() {
 			Detector:      det,
 			Seed:          2017,
 			MinInjections: *injections,
+			Workers:       *workers,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -70,6 +72,14 @@ type Config struct {
 	// Field, when non-nil, confines stage injections to one component range
 	// (per-variable vulnerability studies on field-blocked PDE states).
 	Field *inject.FieldSelective
+
+	// Workers sets the replicate-level parallelism: 0 uses
+	// runtime.GOMAXPROCS(0), 1 runs the serial reference engine, and any
+	// other value runs that many workers. Every worker count produces a
+	// bitwise-identical Result (modulo wall-clock fields) because replicates
+	// draw their substreams in replicate order, carry zero shared mutable
+	// state, and are merged back in replicate order.
+	Workers int
 }
 
 func (c *Config) injectProb() float64 {
@@ -77,6 +87,16 @@ func (c *Config) injectProb() float64 {
 		return 0.01
 	}
 	return c.InjectProb
+}
+
+func (c *Config) workers() int {
+	if c.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
 }
 
 // Result aggregates a campaign cell's outcome.
@@ -88,6 +108,25 @@ type Result struct {
 	WallSeconds float64
 	MeanOrder   float64 // mean double-checking order (LBDC/IBDC only)
 	MemVectors  float64 // detector's persistent extra vectors (mean)
+
+	// Workers is the resolved worker count that produced this result.
+	Workers int
+	// CPUSeconds sums the per-replicate execution times across all workers —
+	// the serial-equivalent work the campaign performed.
+	CPUSeconds float64
+	// Speedup is CPUSeconds / WallSeconds, the measured wall-clock speedup
+	// of the parallel engine over an ideal serial execution of the same
+	// replicates (~1.0 when Workers is 1).
+	Speedup float64
+}
+
+// Canonical returns the deterministic portion of the result: wall-clock and
+// scheduling fields are zeroed so results produced with different worker
+// counts can be compared bit-for-bit.
+func (r *Result) Canonical() Result {
+	c := *r
+	c.WallSeconds, c.CPUSeconds, c.Speedup, c.Workers = 0, 0, 0, 0
+	return c
 }
 
 // detectorInstance couples a validator with its post-run accounting.
@@ -160,6 +199,8 @@ func makeDetector(kind DetectorKind, tab *ode.Tableau, sys ode.System, plan *inj
 }
 
 // Run executes the campaign cell until MinInjections SDCs have been applied.
+// Replicates run on cfg.Workers workers (see Config.Workers); the result is
+// bitwise identical for every worker count.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Problem == nil || cfg.Tab == nil || cfg.Injector == nil {
 		return nil, fmt.Errorf("harness: Problem, Tab and Injector are required")
@@ -172,123 +213,173 @@ func Run(cfg Config) (*Result, error) {
 	if maxRuns == 0 {
 		maxRuns = 10000
 	}
+	workers := cfg.workers()
 
-	p := cfg.Problem
-	res := &Result{}
+	res := &Result{Workers: workers}
 	root := xrand.New(cfg.Seed ^ 0xc0ffee)
 	start := time.Now()
 
-	var memSum, memN float64
-	for rep := 0; rep < maxRuns && res.Rates.Injections < minInj; rep++ {
-		plan := inject.NewPlan(root.Split(uint64(rep)), cfg.Injector)
-		plan.Prob = cfg.injectProb()
-		var statePlan *inject.Plan
-		if cfg.StateProb > 0 {
-			statePlan = inject.NewPlan(root.Split(uint64(rep)^0x517a7e), cfg.Injector)
-			statePlan.Prob = cfg.StateProb
-		}
-
-		counting := &ode.CountingSystem{Sys: p.Sys}
-		det, err := makeDetector(cfg.Detector, cfg.Tab, counting, plan, &cfg)
-		if err != nil {
-			return nil, err
-		}
-
-		ctrl := ode.DefaultController(p.TolA, p.TolR)
-		ctrl.MaxNorm = cfg.MaxNorm
-		hook := ode.StageHook(plan.Hook)
-		if cfg.Field != nil {
-			sel := *cfg.Field
-			sel.Inner = cfg.Injector
-			hook = plan.HookFor(sel)
-		}
-		in := &ode.Integrator{
-			Tab:               cfg.Tab,
-			Ctrl:              ctrl,
-			Validator:         det.validator,
-			Hook:              hook,
-			NoReuseFirstStage: cfg.NoReuseFirstStage,
-			MaxSteps:          1 << 18,
-			MaxStep:           p.MaxStep,
-		}
-		if statePlan != nil {
-			in.StateHook = statePlan.StateHook
-		}
-
-		shadow := ode.NewStepper(cfg.Tab, p.Sys) // clean reference, uncounted
-		cw := la.NewVec(p.Sys.Dim())             // clean weights
-		xt := la.NewVec(p.Sys.Dim())             // clean approximation solution
-
-		if cfg.Detector == Oracle {
-			oxt := la.NewVec(p.Sys.Dim())
-			ocw := la.NewVec(p.Sys.Dim())
-			oshadow := ode.NewStepper(cfg.Tab, p.Sys)
-			in.Validator = oracleValidator(func(c *ode.CheckContext) bool {
-				restore := plan.Pause()
-				clean := oshadow.Trial(c.T, c.H, c.XStored, nil, nil)
-				restore()
-				oxt.CopyFrom(clean.XProp)
-				oxt.Sub(clean.ErrVec)
-				ctrl.Weights(ocw, clean.XProp)
-				return c.XProp.HasNaNOrInf() || ctrl.ScaledDiff(c.XProp, oxt, ocw) > 1
-			})
-		}
-
-		in.OnTrial = func(tr *ode.Trial) {
-			rejected := tr.ClassicReject || tr.ValidatorReject
-			corrupted := tr.Injections > 0 || tr.StateInjections > 0 || tr.InheritedCorruption
-			if !corrupted {
-				res.Rates.CleanTrials++
-				if rejected {
-					res.Rates.CleanRejected++
-				}
-				return
-			}
-			res.Rates.CorruptTrials++
-			res.Rates.Injections += tr.Injections + tr.StateInjections
-			if tr.InheritedCorruption && tr.Injections == 0 {
-				// Corruption carried over from the previous step's reused
-				// stage; it was already counted there as an injection.
-			}
-			if rejected {
-				res.Rates.CorruptRejected++
-			}
-			// Significance: recompute the step cleanly (from the clean stored
-			// state — XStart is never the corrupted transient copy) and
-			// measure the real scaled LTE of the corrupted solution against
-			// the clean approximation solution (§IV-A).
-			restore := plan.Pause()
-			clean := shadow.Trial(tr.T, tr.H, tr.XStart, nil, nil)
-			restore()
-			xt.CopyFrom(clean.XProp)
-			xt.Sub(clean.ErrVec) // x~ = x - (x - x~)
-			ctrl.Weights(cw, clean.XProp)
-			significant := tr.XProp.HasNaNOrInf() || ctrl.ScaledDiff(tr.XProp, xt, cw) > 1
-			if significant {
-				res.Rates.SigTrials++
-				if !rejected {
-					res.Rates.SigAccepted++
-				}
-			}
-		}
-
-		in.Init(counting, p.T0, p.TEnd, p.X0, p.H0)
-		if _, err := in.Run(); err != nil {
-			res.Rates.Diverged++
-		}
-		res.Rates.Runs++
-		res.Steps += in.Stats.Steps
-		res.TrialSteps += in.Stats.TrialSteps
-		res.Evals += counting.Evals
-		memSum += det.memVecs()
-		memN++
-		res.MeanOrder = det.meanOrder()
+	var m merger
+	var err error
+	if workers == 1 {
+		err = runSerial(&cfg, res, &m, root, minInj, maxRuns)
+	} else {
+		err = runParallel(&cfg, res, &m, root, minInj, maxRuns, workers)
+	}
+	if err != nil {
+		return nil, err
 	}
 	res.WallSeconds = time.Since(start).Seconds()
-	if memN > 0 {
-		res.MemVectors = memSum / memN
-	}
+	m.finish(res)
 	return res, nil
+}
+
+// repJob carries the deterministic inputs of one replicate: its index and
+// the substreams split from the campaign root in replicate order.
+type repJob struct {
+	rep      int
+	planRNG  *xrand.RNG
+	stateRNG *xrand.RNG // nil unless StateProb > 0
+}
+
+// nextJob draws replicate rep's substreams from root. It must be called in
+// strictly increasing replicate order: Split advances the root stream, and
+// the replicate-order draw sequence is what makes the parallel engines
+// reproduce the serial engine bit for bit.
+func nextJob(cfg *Config, root *xrand.RNG, rep int) repJob {
+	j := repJob{rep: rep, planRNG: root.Split(uint64(rep))}
+	if cfg.StateProb > 0 {
+		j.stateRNG = root.Split(uint64(rep) ^ 0x517a7e)
+	}
+	return j
+}
+
+// repOutcome is one replicate's contribution to the campaign Result.
+type repOutcome struct {
+	rates      Rates
+	steps      int
+	trialSteps int
+	evals      int64
+	memVecs    float64
+	meanOrder  float64
+	seconds    float64
+	err        error
+}
+
+// runReplicate integrates the problem once under injection, with every
+// mutable resource (RNG substreams, right-hand side, integrator, detector,
+// shadow stepper, scratch vectors) owned exclusively by this call.
+func runReplicate(cfg *Config, job repJob) repOutcome {
+	var out repOutcome
+	repStart := time.Now()
+	p := cfg.Problem
+	sys := p.SysInstance()
+
+	plan := inject.NewPlan(job.planRNG, cfg.Injector)
+	plan.Prob = cfg.injectProb()
+	var statePlan *inject.Plan
+	if job.stateRNG != nil {
+		statePlan = inject.NewPlan(job.stateRNG, cfg.Injector)
+		statePlan.Prob = cfg.StateProb
+	}
+
+	counting := &ode.CountingSystem{Sys: sys}
+	det, err := makeDetector(cfg.Detector, cfg.Tab, counting, plan, cfg)
+	if err != nil {
+		out.err = err
+		return out
+	}
+
+	ctrl := ode.DefaultController(p.TolA, p.TolR)
+	ctrl.MaxNorm = cfg.MaxNorm
+	hook := ode.StageHook(plan.Hook)
+	if cfg.Field != nil {
+		sel := *cfg.Field
+		sel.Inner = cfg.Injector
+		hook = plan.HookFor(sel)
+	}
+	in := &ode.Integrator{
+		Tab:               cfg.Tab,
+		Ctrl:              ctrl,
+		Validator:         det.validator,
+		Hook:              hook,
+		NoReuseFirstStage: cfg.NoReuseFirstStage,
+		MaxSteps:          1 << 18,
+		MaxStep:           p.MaxStep,
+	}
+	if statePlan != nil {
+		in.StateHook = statePlan.StateHook
+	}
+
+	shadow := ode.NewStepper(cfg.Tab, sys) // clean reference, uncounted
+	cw := la.NewVec(sys.Dim())             // clean weights
+	xt := la.NewVec(sys.Dim())             // clean approximation solution
+
+	if cfg.Detector == Oracle {
+		oxt := la.NewVec(sys.Dim())
+		ocw := la.NewVec(sys.Dim())
+		oshadow := ode.NewStepper(cfg.Tab, sys)
+		in.Validator = oracleValidator(func(c *ode.CheckContext) bool {
+			restore := plan.Pause()
+			clean := oshadow.Trial(c.T, c.H, c.XStored, nil, nil)
+			restore()
+			oxt.CopyFrom(clean.XProp)
+			oxt.Sub(clean.ErrVec)
+			ctrl.Weights(ocw, clean.XProp)
+			return c.XProp.HasNaNOrInf() || ctrl.ScaledDiff(c.XProp, oxt, ocw) > 1
+		})
+	}
+
+	in.OnTrial = func(tr *ode.Trial) {
+		rejected := tr.ClassicReject || tr.ValidatorReject
+		corrupted := tr.Injections > 0 || tr.StateInjections > 0 || tr.InheritedCorruption
+		if !corrupted {
+			out.rates.CleanTrials++
+			if rejected {
+				out.rates.CleanRejected++
+			}
+			return
+		}
+		out.rates.CorruptTrials++
+		out.rates.Injections += tr.Injections + tr.StateInjections
+		if tr.InheritedCorruption && tr.Injections == 0 {
+			// Corruption carried over from the previous step's reused
+			// stage; it was already counted there as an injection.
+		}
+		if rejected {
+			out.rates.CorruptRejected++
+		}
+		// Significance: recompute the step cleanly (from the clean stored
+		// state — XStart is never the corrupted transient copy) and
+		// measure the real scaled LTE of the corrupted solution against
+		// the clean approximation solution (§IV-A).
+		restore := plan.Pause()
+		clean := shadow.Trial(tr.T, tr.H, tr.XStart, nil, nil)
+		restore()
+		xt.CopyFrom(clean.XProp)
+		xt.Sub(clean.ErrVec) // x~ = x - (x - x~)
+		ctrl.Weights(cw, clean.XProp)
+		significant := tr.XProp.HasNaNOrInf() || ctrl.ScaledDiff(tr.XProp, xt, cw) > 1
+		if significant {
+			out.rates.SigTrials++
+			if !rejected {
+				out.rates.SigAccepted++
+			}
+		}
+	}
+
+	in.Init(counting, p.T0, p.TEnd, p.X0, p.H0)
+	if _, err := in.Run(); err != nil {
+		out.rates.Diverged++
+	}
+	out.rates.Runs++
+	out.steps = in.Stats.Steps
+	out.trialSteps = in.Stats.TrialSteps
+	out.evals = counting.Evals
+	out.memVecs = det.memVecs()
+	out.meanOrder = det.meanOrder()
+	out.seconds = time.Since(repStart).Seconds()
+	return out
 }
 
 // oracleValidator adapts a significance predicate to ode.Validator.
@@ -331,7 +422,10 @@ func MeasureOverheads(cfg Config) (Overheads, *Result, error) {
 		return Overheads{}, res, fmt.Errorf("harness: no completed runs")
 	}
 	perRunEvals := float64(res.Evals) / runs
-	perRunWall := res.WallSeconds / runs
+	// CPUSeconds is the per-replicate compute time summed across workers, so
+	// the wall overhead stays comparable to the serial baseline even when
+	// the campaign itself ran on many workers.
+	perRunWall := res.CPUSeconds / runs
 	o := Overheads{
 		MemoryPct:  100 * res.MemVectors / float64(cfg.Tab.Stages()+2),
 		ComputePct: 100 * (perRunEvals - float64(baseEvals)) / float64(baseEvals),
@@ -350,20 +444,61 @@ type Replicated struct {
 	Results           []*Result
 }
 
-// RunReplicated executes k seed-varied replicas of cfg.
+// ReplicaSeeds derives k root seeds for seed-varied campaign replicas via
+// xrand splits of the base seed. Unlike the former fixed-stride arithmetic
+// (base + i*1000003), split-derived seeds give statistically independent,
+// pairwise non-overlapping campaign root streams.
+func ReplicaSeeds(base uint64, k int) []uint64 {
+	root := xrand.New(base ^ 0x5eedfa11)
+	seeds := make([]uint64, k)
+	for i := range seeds {
+		seeds[i] = root.Split(uint64(i)).Uint64()
+	}
+	return seeds
+}
+
+// RunReplicated executes k seed-varied replicas of cfg. With cfg.Workers
+// other than 1, the replicas themselves run concurrently, splitting the
+// worker budget between them; every partitioning yields the same rates
+// because Run is worker-count invariant.
 func RunReplicated(cfg Config, k int) (*Replicated, error) {
 	if k < 1 {
 		k = 3
 	}
+	seeds := ReplicaSeeds(cfg.Seed, k)
+	results := make([]*Result, k)
+	errs := make([]error, k)
+	if cfg.workers() == 1 {
+		for i := 0; i < k; i++ {
+			c := cfg
+			c.Seed = seeds[i]
+			results[i], errs[i] = Run(c)
+		}
+	} else {
+		per := cfg.workers() / k
+		if per < 1 {
+			per = 1
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c := cfg
+				c.Seed = seeds[i]
+				c.Workers = per
+				results[i], errs[i] = Run(c)
+			}(i)
+		}
+		wg.Wait()
+	}
 	var fprs, tprs, sfnrs []float64
 	out := &Replicated{}
 	for i := 0; i < k; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(i)*1000003
-		res, err := Run(c)
-		if err != nil {
-			return nil, err
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
+		res := results[i]
 		out.Results = append(out.Results, res)
 		fprs = append(fprs, res.Rates.FPR())
 		tprs = append(tprs, res.Rates.TPR())

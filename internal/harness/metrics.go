@@ -116,6 +116,9 @@ type Report struct {
 	Steps       int     `json:"steps"`
 	Evals       int64   `json:"evals"`
 	WallSeconds float64 `json:"wall_seconds"`
+	Workers     int     `json:"workers,omitempty"`
+	CPUSeconds  float64 `json:"cpu_seconds,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
 }
 
 // NewReport assembles a Report from a config and its result.
@@ -138,5 +141,8 @@ func NewReport(cfg Config, res *Result) Report {
 		Steps:       res.Steps,
 		Evals:       res.Evals,
 		WallSeconds: res.WallSeconds,
+		Workers:     res.Workers,
+		CPUSeconds:  res.CPUSeconds,
+		Speedup:     res.Speedup,
 	}
 }

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// This file holds the campaign execution engines. Both consume replicates
+// produced by runReplicate and fold them into the Result through a merger,
+// strictly in replicate order; the serial engine is the reference
+// implementation, and the parallel engine is required (and regression-tested)
+// to reproduce it bit for bit for every worker count.
+
+// merger folds replicate outcomes into a Result in replicate order and
+// accumulates the cross-replicate aggregates that cannot live in Rates.
+type merger struct {
+	memSum, memN float64
+	cpuSeconds   float64
+}
+
+func (m *merger) merge(res *Result, out repOutcome) {
+	res.Rates.Add(out.rates)
+	res.Steps += out.steps
+	res.TrialSteps += out.trialSteps
+	res.Evals += out.evals
+	m.memSum += out.memVecs
+	m.memN++
+	m.cpuSeconds += out.seconds
+	// Like the serial loop, the last merged replicate's detector supplies
+	// the mean double-checking order.
+	res.MeanOrder = out.meanOrder
+}
+
+func (m *merger) finish(res *Result) {
+	if m.memN > 0 {
+		res.MemVectors = m.memSum / m.memN
+	}
+	res.CPUSeconds = m.cpuSeconds
+	if res.WallSeconds > 0 {
+		res.Speedup = res.CPUSeconds / res.WallSeconds
+	}
+}
+
+// runSerial is the reference engine: replicates execute one after another
+// until the stopping rule (Injections >= minInj, or maxRuns) fires.
+func runSerial(cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns int) error {
+	for rep := 0; rep < maxRuns && res.Rates.Injections < minInj; rep++ {
+		out := runReplicate(cfg, nextJob(cfg, root, rep))
+		if out.err != nil {
+			return out.err
+		}
+		m.merge(res, out)
+	}
+	return nil
+}
+
+// waveFactor sizes scheduling waves as a multiple of the worker count: wide
+// enough to keep workers busy across replicate-runtime variance, narrow
+// enough to bound the overshoot discarded by the stopping rule.
+const waveFactor = 2
+
+// runParallel executes replicates in fixed-size waves on a worker pool.
+// Substreams are split from root in replicate order before each wave is
+// dispatched, every worker owns all of its replicate's mutable state, and
+// outcomes are merged in replicate order under the serial stopping rule —
+// a wave may overshoot the injection target, in which case the replicates
+// past the first one satisfying the stop condition are discarded, exactly
+// as the serial engine would never have run them.
+func runParallel(cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns, workers int) error {
+	wave := waveFactor * workers
+	for next := 0; next < maxRuns && res.Rates.Injections < minInj; next += wave {
+		n := wave
+		if next+n > maxRuns {
+			n = maxRuns - next
+		}
+		jobs := make([]repJob, n)
+		for i := range jobs {
+			jobs[i] = nextJob(cfg, root, next+i)
+		}
+
+		outs := make([]repOutcome, n)
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					outs[i] = runReplicate(cfg, jobs[i])
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+
+		for _, out := range outs {
+			if res.Rates.Injections >= minInj {
+				break // overshoot: the serial engine would have stopped here
+			}
+			if out.err != nil {
+				return out.err
+			}
+			m.merge(res, out)
+		}
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ type Options struct {
 	Problem       *problems.Problem // default: pre-shock WENO5 Burgers (see problem())
 	Seed          uint64
 	MinInjections int // per cell; the paper uses >= 10000
+	Workers       int // campaign workers per cell (see Config.Workers)
 }
 
 func (o Options) problem() *problems.Problem {
@@ -57,6 +58,7 @@ func RunGrid(o Options, tabs []*ode.Tableau, injs []inject.Injector, det Detecto
 				Detector:      det,
 				Seed:          o.Seed + uint64(len(cells)),
 				MinInjections: o.minInj(),
+				Workers:       o.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s/%s: %w", tab.Name, inj.Name(), err)
@@ -171,6 +173,7 @@ func Table3(w io.Writer, o Options, tab *ode.Tableau, stateProb float64) (map[De
 			Detector:      det,
 			Seed:          o.Seed + 7777,
 			MinInjections: o.minInj(),
+			Workers:       o.Workers,
 			StateProb:     stateProb,
 		})
 		if err != nil {
@@ -203,6 +206,7 @@ func Table4(w io.Writer, o Options) (map[DetectorKind]Overheads, error) {
 			Detector:      det,
 			Seed:          o.Seed + 4242,
 			MinInjections: o.minInj(),
+			Workers:       o.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("harness: table4 %s: %w", det, err)
@@ -239,6 +243,7 @@ func ToleranceSweep(w io.Writer, o Options, tols []float64) ([]CellResult, error
 			Detector:      Classic,
 			Seed:          o.Seed + uint64(i)*13,
 			MinInjections: o.minInj(),
+			Workers:       o.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("harness: tolerance sweep %g: %w", tol, err)
@@ -338,6 +343,7 @@ func FieldSweep(w io.Writer, o Options, p *problems.Problem, varNames []string) 
 			Detector:      Classic,
 			Seed:          o.Seed + uint64(v)*17,
 			MinInjections: o.minInj(),
+			Workers:       o.Workers,
 			Field:         &inject.FieldSelective{Lo: v * blk, Hi: (v + 1) * blk},
 		})
 		if err != nil {
@@ -374,6 +380,7 @@ func Table3X(w io.Writer, o Options, tab *ode.Tableau) error {
 				Detector:      det,
 				Seed:          o.Seed + 99,
 				MinInjections: o.minInj(),
+				Workers:       o.Workers,
 			})
 			if err != nil {
 				return err
@@ -403,6 +410,7 @@ func Corpus(w io.Writer, o Options, det DetectorKind) (*Rates, error) {
 			Detector:      det,
 			Seed:          o.Seed + uint64(i)*7,
 			MinInjections: o.minInj() / 2,
+			Workers:       o.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("harness: corpus %s: %w", p.Name, err)

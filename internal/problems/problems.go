@@ -34,6 +34,21 @@ type Problem struct {
 	Stiff   bool
 	// Exact, when non-nil, returns the analytic solution at t.
 	Exact func(t float64) la.Vec
+	// NewSys, when non-nil, constructs an independent instance of the
+	// right-hand side. PDE systems carry per-instance scratch buffers, so
+	// concurrent campaign replicates must not share Sys; pure-function
+	// systems leave NewSys nil and share Sys freely.
+	NewSys func() ode.System
+}
+
+// SysInstance returns a right-hand side safe for exclusive use by one
+// goroutine: a fresh instance when the system carries mutable scratch
+// (NewSys non-nil), the shared Sys otherwise.
+func (p *Problem) SysInstance() ode.System {
+	if p.NewSys != nil {
+		return p.NewSys()
+	}
+	return p.Sys
 }
 
 // Unstable is the paper's §II-B example dx/dt = (x-1)^2: starting below 1
@@ -254,8 +269,7 @@ func Standard() []*Problem {
 // stencil switching under perturbations) at 1-D cost. The profile
 // steepens into a moving shock around t ~ 1/pi.
 func Burgers1D(n int, schemeName string) *Problem {
-	s, err := weno.ByName(schemeName)
-	if err != nil {
+	if _, err := weno.ByName(schemeName); err != nil {
 		panic(err)
 	}
 	dx := 1.0 / float64(n)
@@ -264,40 +278,45 @@ func Burgers1D(n int, schemeName string) *Problem {
 		x := (float64(i) + 0.5) * dx
 		x0[i] = 1 + 0.5*math.Sin(2*math.Pi*x)
 	}
-	g := weno.Ghost
-	padP := make([]float64, n+2*g) // padded split flux f+
-	padM := make([]float64, n+2*g) // padded reversed split flux f-
-	fhatP := make([]float64, n+1)
-	fhatM := make([]float64, n+1)
-	sys := ode.Func{N: n, F: func(t float64, u, dst la.Vec) {
-		// Rusanov splitting f±(u) = (u^2/2 ± alpha*u)/2.
-		alpha := 0.0
-		for _, v := range u {
-			if a := math.Abs(v); a > alpha {
-				alpha = a
+	// Each instance owns its scheme (CRWENO5 keeps tridiagonal scratch) and
+	// padded flux buffers, so instances never share mutable state.
+	makeSys := func() ode.System {
+		s, _ := weno.ByName(schemeName)
+		g := weno.Ghost
+		padP := make([]float64, n+2*g) // padded split flux f+
+		padM := make([]float64, n+2*g) // padded reversed split flux f-
+		fhatP := make([]float64, n+1)
+		fhatM := make([]float64, n+1)
+		return ode.Func{N: n, F: func(t float64, u, dst la.Vec) {
+			// Rusanov splitting f±(u) = (u^2/2 ± alpha*u)/2.
+			alpha := 0.0
+			for _, v := range u {
+				if a := math.Abs(v); a > alpha {
+					alpha = a
+				}
 			}
-		}
-		for i := -g; i < n+g; i++ {
-			ii := ((i % n) + n) % n
-			v := u[ii]
-			fl := 0.5 * v * v
-			padP[i+g] = 0.5 * (fl + alpha*v)
-			// f- is reconstructed right-biased: reverse the line in place.
-			padM[n+2*g-1-(i+g)] = 0.5 * (fl - alpha*v)
-		}
-		s.ReconstructLeft(fhatP, padP)
-		s.ReconstructLeft(fhatM, padM)
-		for i := 0; i < n; i++ {
-			// Interface i+1/2 of f- is reversed interface n-1-i+...:
-			// reversed line interface k corresponds to original n-k.
-			fp := fhatP[i+1] + fhatM[n-1-i]
-			fm := fhatP[i] + fhatM[n-i]
-			dst[i] = -(fp - fm) / dx
-		}
-	}}
+			for i := -g; i < n+g; i++ {
+				ii := ((i % n) + n) % n
+				v := u[ii]
+				fl := 0.5 * v * v
+				padP[i+g] = 0.5 * (fl + alpha*v)
+				// f- is reconstructed right-biased: reverse the line in place.
+				padM[n+2*g-1-(i+g)] = 0.5 * (fl - alpha*v)
+			}
+			s.ReconstructLeft(fhatP, padP)
+			s.ReconstructLeft(fhatM, padM)
+			for i := 0; i < n; i++ {
+				// Interface i+1/2 of f- is reversed interface n-1-i+...:
+				// reversed line interface k corresponds to original n-k.
+				fp := fhatP[i+1] + fhatM[n-1-i]
+				fm := fhatP[i] + fhatM[n-i]
+				dst[i] = -(fp - fm) / dx
+			}
+		}}
+	}
 	return &Problem{
 		Name: "burgers1d-" + schemeName,
-		Sys:  sys,
+		Sys:  makeSys(), NewSys: makeSys,
 		T0:   0, TEnd: 0.5, X0: x0, H0: 0.2 * dx, MaxStep: 0.3 * dx,
 		TolA: 1e-4, TolR: 1e-4,
 	}
@@ -309,17 +328,22 @@ func Burgers1D(n int, schemeName string) *Problem {
 // adaptive stepping. tEnd selects the simulated window; injection
 // campaigns restart the window until enough SDCs accumulate.
 func Bubble2D(n int, schemeName string, tEnd float64) *Problem {
-	s, err := weno.ByName(schemeName)
-	if err != nil {
+	if _, err := weno.ByName(schemeName); err != nil {
 		panic(err)
 	}
+	// The grid is immutable after construction and shared; the Euler system
+	// and its scheme carry per-instance scratch, so each instance is fresh.
 	g := grid.New2D(n, n, 1000, 1000)
-	sys := pde.NewEulerSystem(g, euler.DefaultGas(), s)
+	makeSys := func() ode.System {
+		s, _ := weno.ByName(schemeName)
+		return pde.NewEulerSystem(g, euler.DefaultGas(), s)
+	}
+	sys := makeSys().(*pde.EulerSystem)
 	x0 := sys.InitialState(euler.DefaultBubble())
 	dt := sys.MaxDt(x0, 0.5)
 	return &Problem{
 		Name: "bubble2d-" + schemeName,
-		Sys:  sys,
+		Sys:  sys, NewSys: makeSys,
 		T0:   0, TEnd: tEnd, X0: x0, H0: dt / 4, MaxStep: dt,
 		TolA: 1e-4, TolR: 1e-4,
 	}

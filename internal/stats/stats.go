@@ -34,6 +34,14 @@ func Wilson(k, n int, z float64) (lo, hi float64) {
 	if hi > 1 {
 		hi = 1
 	}
+	// Analytically lo = 0 at k = 0 and hi = 1 at k = n; pin them so
+	// floating-point residue (~1e-17) cannot leak past the boundary.
+	if k == 0 {
+		lo = 0
+	}
+	if k == n {
+		hi = 1
+	}
 	return
 }
 

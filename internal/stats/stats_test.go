@@ -70,6 +70,101 @@ func TestSeparated(t *testing.T) {
 	}
 }
 
+// TestWilsonBoundaryTotality pins the degenerate corners. Campaign rates
+// are now aggregated concurrently and rendered unconditionally, so Wilson,
+// NewRate, and MeanStd must be total functions: no NaN or ±Inf anywhere,
+// intervals always within [0, 1] and containing the point estimate.
+func TestWilsonBoundaryTotality(t *testing.T) {
+	cases := []struct{ k, n int }{
+		{0, 0},   // no trials at all
+		{0, 1},   // single clean trial
+		{1, 1},   // single event
+		{0, 10},  // k = 0
+		{10, 10}, // k = n
+		{5, 10},  // interior sanity
+	}
+	for _, c := range cases {
+		lo, hi := Wilson(c.k, c.n, Z95)
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			t.Errorf("Wilson(%d, %d) not finite: [%g, %g]", c.k, c.n, lo, hi)
+		}
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("Wilson(%d, %d) outside [0,1] or inverted: [%g, %g]", c.k, c.n, lo, hi)
+		}
+		if c.n > 0 {
+			p := float64(c.k) / float64(c.n)
+			if p < lo-1e-12 || p > hi+1e-12 {
+				t.Errorf("Wilson(%d, %d) = [%g, %g] excludes p = %g", c.k, c.n, lo, hi, p)
+			}
+		}
+		r := NewRate(c.k, c.n)
+		if math.IsNaN(r.Pct) || math.IsInf(r.Pct, 0) {
+			t.Errorf("NewRate(%d, %d).Pct = %g", c.k, c.n, r.Pct)
+		}
+		if r.LoPct < 0 || r.HiPct > 100 || r.LoPct > r.HiPct {
+			t.Errorf("NewRate(%d, %d) interval [%g, %g] outside [0, 100]", c.k, c.n, r.LoPct, r.HiPct)
+		}
+		if r.HalfWidthPct() < 0 {
+			t.Errorf("NewRate(%d, %d) negative half width %g", c.k, c.n, r.HalfWidthPct())
+		}
+	}
+	// n = 0 is maximally uninformative: the full [0, 100] interval.
+	if r := NewRate(0, 0); r.Pct != 0 || r.LoPct != 0 || r.HiPct != 100 {
+		t.Errorf("NewRate(0, 0) = %+v, want 0%% with [0, 100]", r)
+	}
+	// Exhaustive k = 0 and k = n rows stay pinned to the boundary.
+	for n := 1; n <= 100; n++ {
+		if lo, _ := Wilson(0, n, Z95); lo != 0 {
+			t.Fatalf("Wilson(0, %d) lo = %g, want 0", n, lo)
+		}
+		if _, hi := Wilson(n, n, Z95); hi != 1 {
+			t.Fatalf("Wilson(%d, %d) hi = %g, want 1", n, n, hi)
+		}
+	}
+}
+
+// TestSeparatedSymmetricAndIrreflexive: Separated must be a symmetric
+// relation and never separate a rate from itself, including the degenerate
+// zero-trial rate.
+func TestSeparatedSymmetric(t *testing.T) {
+	rates := []Rate{
+		NewRate(0, 0), NewRate(0, 1), NewRate(1, 1), NewRate(0, 1000),
+		NewRate(1000, 1000), NewRate(100, 1000), NewRate(900, 1000),
+	}
+	for i, a := range rates {
+		for j, b := range rates {
+			if Separated(a, b) != Separated(b, a) {
+				t.Errorf("Separated not symmetric for rates %d and %d", i, j)
+			}
+		}
+		if Separated(a, a) {
+			t.Errorf("rate %d separated from itself", i)
+		}
+		// The zero-trial rate spans [0, 100]: nothing can be outside it.
+		if Separated(a, NewRate(0, 0)) {
+			t.Errorf("rate %d separated from the empty rate", i)
+		}
+	}
+}
+
+// TestMeanStdSmallSeries: n = 0 and n = 1 must be exact zeros (no 0/0 NaN
+// from the n-1 divisor), and constant series must have zero deviation.
+func TestMeanStdSmallSeries(t *testing.T) {
+	if m, s := MeanStd([]float64{}); m != 0 || s != 0 {
+		t.Fatalf("empty: %g, %g", m, s)
+	}
+	if m, s := MeanStd([]float64{-2.5}); m != -2.5 || s != 0 {
+		t.Fatalf("singleton: %g, %g", m, s)
+	}
+	if m, s := MeanStd([]float64{4, 4, 4, 4}); m != 4 || s != 0 {
+		t.Fatalf("constant: %g, %g", m, s)
+	}
+	m, s := MeanStd([]float64{1, 2})
+	if m != 1.5 || math.IsNaN(s) || math.Abs(s-math.Sqrt(0.5)) > 1e-15 {
+		t.Fatalf("pair: %g, %g", m, s)
+	}
+}
+
 func TestMeanStd(t *testing.T) {
 	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
 	if mean != 5 {
