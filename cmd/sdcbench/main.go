@@ -9,9 +9,11 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/pde"
 	"repro/internal/problems"
 	"repro/internal/scaling"
+	"repro/internal/telemetry"
 	"repro/internal/weno"
 )
 
@@ -38,10 +41,17 @@ func main() {
 		bubbleN = flag.Int("bubble-n", 32, "bubble grid resolution when -problem bubble or for fig2")
 		outDir  = flag.String("out", "", "directory for figure data files (default: no files)")
 		workers = flag.Int("workers", 0, "campaign workers per cell: 0 = all cores, 1 = serial reference engine (identical numbers either way)")
+
+		traceOut  = flag.String("trace", "", "write the step traces of every table campaign cell to this file (.csv for CSV, else JSONL)")
+		traceCap  = flag.Int("trace-cap", 0, "per-cell trace ring capacity (0 = default)")
+		metricOut = flag.String("metrics", "", "write the merged campaign metrics of every table cell to this file (.csv for CSV, else JSON)")
 	)
 	flag.Parse()
 
-	opts := harness.Options{Seed: *seed, MinInjections: *minInj, Workers: *workers}
+	opts := harness.Options{
+		Seed: *seed, MinInjections: *minInj, Workers: *workers,
+		Trace: *traceOut != "", TraceCap: *traceCap, Metrics: *metricOut != "",
+	}
 	switch *probSel {
 	case "burgers":
 		// harness default
@@ -63,16 +73,25 @@ func main() {
 	var table1Cells []harness.CellResult
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
+	// Campaign observability: cells from every telemetry-enabled experiment
+	// merge into one trace (events keep their per-cell detector stamp) and
+	// one metrics registry, written at exit.
+	tel := newTelemetrySink(*traceOut, *metricOut)
+
 	if want("table1") {
 		run("table1", func() error {
 			var err error
 			table1Cells, err = harness.Table1(os.Stdout, opts)
+			tel.collectCells(table1Cells)
 			return err
 		})
 	}
 	if want("table2") {
 		run("table2", func() error {
-			_, err := harness.Table2(os.Stdout, opts, table1Cells)
+			cells, err := harness.Table2(os.Stdout, opts, table1Cells)
+			if table1Cells == nil {
+				tel.collectCells(cells)
+			}
 			return err
 		})
 	}
@@ -82,12 +101,14 @@ func main() {
 			if err != nil {
 				return err
 			}
+			tel.collectMap(res)
 			return printCampaignJSON("table3", res)
 		})
 	}
 	if want("table3bs") {
 		run("table3bs", func() error {
-			_, err := harness.Table3(os.Stdout, opts, ode.BogackiShampine(), 0)
+			res, err := harness.Table3(os.Stdout, opts, ode.BogackiShampine(), 0)
+			tel.collectMap(res)
 			return err
 		})
 	}
@@ -111,7 +132,8 @@ func main() {
 	}
 	if want("tolsweep") {
 		run("tolsweep", func() error {
-			_, err := harness.ToleranceSweep(os.Stdout, opts, nil)
+			cells, err := harness.ToleranceSweep(os.Stdout, opts, nil)
+			tel.collectCells(cells)
 			return err
 		})
 	}
@@ -149,6 +171,98 @@ func main() {
 	if *exp != "all" && !isKnown(*exp) {
 		fatalf("unknown experiment %q", *exp)
 	}
+	if err := tel.flush(); err != nil {
+		fatalf("telemetry export: %v", err)
+	}
+}
+
+// telemetrySink accumulates the traces and metrics of every campaign cell
+// sdcbench runs and writes them once at exit.
+type telemetrySink struct {
+	tracePath, metricsPath string
+	trace                  *telemetry.Recorder
+	metrics                *telemetry.Metrics
+}
+
+func newTelemetrySink(tracePath, metricsPath string) *telemetrySink {
+	return &telemetrySink{
+		tracePath:   tracePath,
+		metricsPath: metricsPath,
+		trace:       telemetry.NewRecorder(0),
+		metrics:     telemetry.NewMetrics(),
+	}
+}
+
+func (s *telemetrySink) collect(res *harness.Result) {
+	if res == nil {
+		return
+	}
+	if s.tracePath != "" && res.Trace != nil {
+		s.trace.Merge(res.Trace)
+	}
+	if s.metricsPath != "" && res.Metrics != nil {
+		s.metrics.Merge(res.Metrics)
+	}
+}
+
+func (s *telemetrySink) collectCells(cells []harness.CellResult) {
+	for _, c := range cells {
+		s.collect(c.Result)
+	}
+}
+
+// collectMap folds a per-detector result map in fixed detector order so the
+// merged trace is independent of Go's map iteration order.
+func (s *telemetrySink) collectMap(res map[harness.DetectorKind]*harness.Result) {
+	for _, det := range []harness.DetectorKind{
+		harness.Classic, harness.LBDC, harness.IBDC, harness.Replication, harness.TMR, harness.Richardson,
+	} {
+		s.collect(res[det])
+	}
+}
+
+func (s *telemetrySink) flush() error {
+	if s.tracePath != "" {
+		if err := writeStream(s.tracePath, func(w io.Writer) error {
+			if strings.HasSuffix(s.tracePath, ".csv") {
+				return s.trace.WriteCSV(w)
+			}
+			return s.trace.WriteJSONL(w)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d trace events)\n", s.tracePath, s.trace.Len())
+	}
+	if s.metricsPath != "" {
+		if err := writeStream(s.metricsPath, func(w io.Writer) error {
+			if strings.HasSuffix(s.metricsPath, ".csv") {
+				return s.metrics.WriteCSV(w)
+			}
+			return s.metrics.WriteJSON(w)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", s.metricsPath)
+	}
+	return nil
+}
+
+// writeStream streams fn's output into path through a buffered writer.
+func writeStream(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := fn(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printCampaignJSON archives an experiment's per-detector campaign

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/harness"
 	"repro/internal/inject"
@@ -76,6 +79,9 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of text")
 		replicas  = flag.Int("replicas", 0, "run k seed-varied replicas and report mean +- std of the rates")
 		workers   = flag.Int("workers", 0, "campaign workers: 0 = all cores, 1 = serial reference engine (identical numbers either way)")
+		traceOut  = flag.String("trace", "", "write the per-trial step trace to this file (.csv for CSV, else JSONL)")
+		traceCap  = flag.Int("trace-cap", 0, "keep only the most recent N trace events (0 = default ring capacity)")
+		metricOut = flag.String("metrics", "", "write the campaign metrics registry to this file (.csv for CSV, else JSON)")
 	)
 	flag.Parse()
 
@@ -110,6 +116,9 @@ func main() {
 		MaxNorm:       *maxNorm,
 		StateProb:     *stateProb,
 		Workers:       *workers,
+		Trace:         *traceOut != "",
+		TraceCap:      *traceCap,
+		Metrics:       *metricOut != "",
 	}
 	if *fixedQ > 0 {
 		cfg.FixedOrder = *fixedQ + 1
@@ -140,6 +149,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		exportTelemetry(res, *traceOut, *metricOut)
 		printResult(res)
 		fmt.Printf("\noverheads vs clean classic baseline: %s\n", oh)
 		return
@@ -148,6 +158,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	exportTelemetry(res, *traceOut, *metricOut)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -174,6 +185,53 @@ func printResult(res *harness.Result) {
 		fmt.Printf(" (%d workers, %.1fx speedup)", res.Workers, res.Speedup)
 	}
 	fmt.Println()
+}
+
+// exportTelemetry dumps the campaign's trace and metrics registry, if the
+// campaign collected them. ".csv" paths get CSV; everything else gets the
+// line-oriented JSON form (JSONL trace events, one JSON metrics document).
+func exportTelemetry(res *harness.Result, tracePath, metricsPath string) {
+	if tracePath != "" && res.Trace != nil {
+		if err := writeFileWith(tracePath, func(w io.Writer) error {
+			if strings.HasSuffix(tracePath, ".csv") {
+				return res.Trace.WriteCSV(w)
+			}
+			return res.Trace.WriteJSONL(w)
+		}); err != nil {
+			fatal(err)
+		}
+		if d := res.Trace.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "sdcinject: trace ring dropped %d oldest events (raise -trace-cap to keep more)\n", d)
+		}
+	}
+	if metricsPath != "" && res.Metrics != nil {
+		if err := writeFileWith(metricsPath, func(w io.Writer) error {
+			if strings.HasSuffix(metricsPath, ".csv") {
+				return res.Metrics.WriteCSV(w)
+			}
+			return res.Metrics.WriteJSON(w)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeFileWith streams fn's output into path through a buffered writer.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := fn(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -4,14 +4,17 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/harness"
 	"repro/internal/inject"
 	"repro/internal/ode"
 	"repro/internal/problems"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -19,6 +22,8 @@ func main() {
 	injector := flag.String("injector", "scaled", "singlebit, multibit, or scaled")
 	method := flag.String("method", "bogacki-shampine", "heun-euler, bogacki-shampine, or dormand-prince")
 	workers := flag.Int("workers", 0, "campaign workers: 0 = all cores, 1 = serial (identical numbers either way)")
+	traceOut := flag.String("trace", "", "write every detector's step trace to this JSONL file (events carry the detector label)")
+	metricOut := flag.String("metrics", "", "write the merged campaign metrics to this JSON file")
 	flag.Parse()
 
 	inj, err := inject.ByName(*injector)
@@ -40,6 +45,11 @@ func main() {
 	t := &harness.Table{
 		Headers: []string{"Detector", "FPR %", "TPR %", "FNR %", "Significant FNR %", "runs"},
 	}
+	// One merged trace and registry across all detectors: events are stamped
+	// with their detector label, so a single JSONL file holds the whole
+	// campaign and stays trivially groupable.
+	trace := telemetry.NewRecorder(0)
+	metrics := telemetry.NewMetrics()
 	for _, det := range []harness.DetectorKind{harness.Classic, harness.LBDC, harness.IBDC, harness.Replication} {
 		res, err := harness.Run(harness.Config{
 			Problem:       p,
@@ -49,16 +59,54 @@ func main() {
 			Seed:          2017,
 			MinInjections: *injections,
 			Workers:       *workers,
+			Trace:         *traceOut != "",
+			Metrics:       *metricOut != "",
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if res.Trace != nil {
+			trace.Merge(res.Trace)
+		}
+		if res.Metrics != nil {
+			metrics.Merge(res.Metrics)
+		}
 		r := res.Rates
 		t.AddRowf(string(det), r.FPR(), r.TPR(), r.FNR(), r.SFNR(), r.Runs)
 	}
 	t.Render(os.Stdout)
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, trace.WriteJSONL); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricOut != "" {
+		if err := writeFile(*metricOut, metrics.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	fmt.Println("\nSignificant FNR is the dangerous quantity: accepted steps whose real")
 	fmt.Println("error exceeds the user's tolerance. Double-checking drives it to ~0 at a")
 	fmt.Println("fraction of replication's cost (see cmd/sdcbench -exp table4).")
+}
+
+// writeFile streams fn's output into path through a buffered writer.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := fn(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

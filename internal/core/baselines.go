@@ -386,6 +386,7 @@ func (r *Richardson) Validate(c *ode.CheckContext) ode.Verdict {
 	r.mid.CopyFrom(res1.XProp)
 	res2 := r.stepper.Trial(c.T+half, half, r.mid, nil, nil)
 	sErr := c.Ctrl.ScaledDiff(c.XProp, res2.XProp, c.Weights)
+	c.ReportCheck(sErr, -1, -1)
 	if sErr > r.Factor {
 		r.Stats.Rejections++
 		return ode.VerdictReject

@@ -282,6 +282,7 @@ func (d *DoubleCheck) Validate(c *ode.CheckContext) ode.Verdict {
 		d.fpWin++
 		d.Stats.FPRescues++
 		d.updateOrder()
+		c.ReportCheck(-1, d.q, d.c)
 		return ode.VerdictFPRescue
 	}
 
@@ -297,6 +298,7 @@ func (d *DoubleCheck) Validate(c *ode.CheckContext) ode.Verdict {
 	}
 	d.Strat.Estimate(d.est, c, q)
 	sErr2 := c.Ctrl.ScaledDiff(c.XProp, d.est, c.Weights)
+	c.ReportCheck(sErr2, d.q, d.c)
 	if sErr2 > 1 {
 		d.lastSErr = c.SErr1
 		d.haveLast = true

@@ -13,7 +13,30 @@ import (
 	"repro/internal/ode"
 	"repro/internal/problems"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
+)
+
+// The campaign metrics schema: counter, gauge, and histogram names used
+// when Config.Metrics is enabled. Names under telemetry.TimePrefix carry
+// wall-clock measurements and are excluded from determinism comparisons.
+const (
+	MSteps             = "steps"                                    // accepted steps
+	MTrialSteps        = "trial_steps"                              // all trials
+	MRejectedClassic   = "rejected_classic"                         // classic error-test rejections
+	MRejectedValidator = "rejected_validator"                       // double-check detector fires
+	MFPRescues         = "fp_rescues"                               // self-identified false positives
+	MRHSEvals          = "rhs_evals"                                // fresh right-hand-side evaluations
+	MInjections        = "injections"                               // SDCs applied
+	MSigTrials         = "sig_trials"                               // significantly corrupted trials
+	MSigAccepted       = "sig_accepted"                             // silently accepted significant trials
+	MRuns              = "runs"                                     // completed integrations
+	MDiverged          = "diverged"                                 // failed integrations
+	MStepSize          = "step_size"                                // histogram of accepted step sizes
+	MReplicateSeconds  = telemetry.TimePrefix + "replicate_seconds" // histogram
+	MWallSeconds       = telemetry.TimePrefix + "wall_seconds"      // gauge
+	MCPUSeconds        = telemetry.TimePrefix + "cpu_seconds"       // gauge
+	MSpeedup           = telemetry.TimePrefix + "speedup"           // gauge
 )
 
 // DetectorKind selects which protection mechanism guards the solver.
@@ -80,6 +103,20 @@ type Config struct {
 	// draw their substreams in replicate order, carry zero shared mutable
 	// state, and are merged back in replicate order.
 	Workers int
+
+	// Trace enables the step tracer: every trial of every replicate emits
+	// one telemetry.StepEvent (stamped with its replicate index, detector
+	// kind, and injection ground truth) into Result.Trace. Tracing is
+	// purely observational — it changes no campaign number and keeps
+	// Result.Canonical() byte-identical to an untraced run.
+	Trace bool
+	// TraceCap bounds the ring capacity of the campaign trace and of each
+	// replicate's recorder (0 = telemetry.DefaultCap). The campaign keeps
+	// the most recent TraceCap merged events.
+	TraceCap int
+	// Metrics enables the campaign metrics registry (see the M* name
+	// constants) in Result.Metrics. Like Trace, purely observational.
+	Metrics bool
 }
 
 func (c *Config) injectProb() float64 {
@@ -87,6 +124,13 @@ func (c *Config) injectProb() float64 {
 		return 0.01
 	}
 	return c.InjectProb
+}
+
+func (c *Config) traceCap() int {
+	if c.TraceCap > 0 {
+		return c.TraceCap
+	}
+	return telemetry.DefaultCap
 }
 
 func (c *Config) workers() int {
@@ -118,14 +162,27 @@ type Result struct {
 	// of the parallel engine over an ideal serial execution of the same
 	// replicates (~1.0 when Workers is 1).
 	Speedup float64
+
+	// Trace holds the merged per-trial step trace when Config.Trace is set
+	// (nil otherwise). Events appear in replicate order, each stamped with
+	// its replicate index and detector label, so the trace is bitwise
+	// identical for every worker count.
+	Trace *telemetry.Recorder
+	// Metrics holds the merged campaign metrics registry when
+	// Config.Metrics is set (nil otherwise). Everything outside the
+	// telemetry.TimePrefix namespace is deterministic and worker-count
+	// invariant.
+	Metrics *telemetry.Metrics
 }
 
 // Canonical returns the deterministic portion of the result: wall-clock and
-// scheduling fields are zeroed so results produced with different worker
-// counts can be compared bit-for-bit.
+// scheduling fields are zeroed — and the observability attachments dropped —
+// so results produced with different worker counts or telemetry settings
+// can be compared bit-for-bit.
 func (r *Result) Canonical() Result {
 	c := *r
 	c.WallSeconds, c.CPUSeconds, c.Speedup, c.Workers = 0, 0, 0, 0
+	c.Trace, c.Metrics = nil, nil
 	return c
 }
 
@@ -216,6 +273,12 @@ func Run(cfg Config) (*Result, error) {
 	workers := cfg.workers()
 
 	res := &Result{Workers: workers}
+	if cfg.Trace {
+		res.Trace = telemetry.NewRecorder(cfg.traceCap())
+	}
+	if cfg.Metrics {
+		res.Metrics = telemetry.NewMetrics()
+	}
 	root := xrand.New(cfg.Seed ^ 0xc0ffee)
 	start := time.Now()
 
@@ -263,6 +326,8 @@ type repOutcome struct {
 	memVecs    float64
 	meanOrder  float64
 	seconds    float64
+	trace      *telemetry.Recorder // nil unless cfg.Trace
+	metrics    *telemetry.Metrics  // nil unless cfg.Metrics
 	err        error
 }
 
@@ -310,6 +375,16 @@ func runReplicate(cfg *Config, job repJob) repOutcome {
 	if statePlan != nil {
 		in.StateHook = statePlan.StateHook
 	}
+	if cfg.Trace {
+		out.trace = telemetry.NewRecorder(cfg.traceCap())
+		out.trace.SetStamp(job.rep, string(cfg.Detector))
+		in.Tracer = out.trace
+	}
+	var stepSizes *telemetry.Histogram
+	if cfg.Metrics {
+		out.metrics = telemetry.NewMetrics()
+		stepSizes = out.metrics.Histogram(MStepSize, telemetry.Log10Edges(-12, 2))
+	}
 
 	shadow := ode.NewStepper(cfg.Tab, sys) // clean reference, uncounted
 	cw := la.NewVec(sys.Dim())             // clean weights
@@ -333,6 +408,9 @@ func runReplicate(cfg *Config, job repJob) repOutcome {
 	in.OnTrial = func(tr *ode.Trial) {
 		rejected := tr.ClassicReject || tr.ValidatorReject
 		corrupted := tr.Injections > 0 || tr.StateInjections > 0 || tr.InheritedCorruption
+		if stepSizes != nil && tr.Accepted {
+			stepSizes.Observe(tr.H)
+		}
 		if !corrupted {
 			out.rates.CleanTrials++
 			if rejected {
@@ -361,10 +439,13 @@ func runReplicate(cfg *Config, job repJob) repOutcome {
 		ctrl.Weights(cw, clean.XProp)
 		significant := tr.XProp.HasNaNOrInf() || ctrl.ScaledDiff(tr.XProp, xt, cw) > 1
 		if significant {
+			tr.Significance = telemetry.SigSignificant
 			out.rates.SigTrials++
 			if !rejected {
 				out.rates.SigAccepted++
 			}
+		} else {
+			tr.Significance = telemetry.SigBenign
 		}
 	}
 
@@ -379,6 +460,20 @@ func runReplicate(cfg *Config, job repJob) repOutcome {
 	out.memVecs = det.memVecs()
 	out.meanOrder = det.meanOrder()
 	out.seconds = time.Since(repStart).Seconds()
+	if m := out.metrics; m != nil {
+		m.Counter(MSteps).Add(int64(in.Stats.Steps))
+		m.Counter(MTrialSteps).Add(int64(in.Stats.TrialSteps))
+		m.Counter(MRejectedClassic).Add(int64(in.Stats.RejectedClassic))
+		m.Counter(MRejectedValidator).Add(int64(in.Stats.RejectedValidator))
+		m.Counter(MFPRescues).Add(int64(in.Stats.FPRescues))
+		m.Counter(MRHSEvals).Add(out.evals)
+		m.Counter(MInjections).Add(int64(out.rates.Injections))
+		m.Counter(MSigTrials).Add(int64(out.rates.SigTrials))
+		m.Counter(MSigAccepted).Add(int64(out.rates.SigAccepted))
+		m.Counter(MRuns).Add(int64(out.rates.Runs))
+		m.Counter(MDiverged).Add(int64(out.rates.Diverged))
+		m.Histogram(MReplicateSeconds, telemetry.Log10Edges(-6, 4)).Observe(out.seconds)
+	}
 	return out
 }
 

@@ -9,8 +9,10 @@ package harness
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Rates accumulates per-trial detection outcomes. A trial is "corrupted"
@@ -33,17 +35,34 @@ type Rates struct {
 	Runs       int // completed integrations
 }
 
-// Add accumulates other into r.
+// Add accumulates other into r. Every field merges through a saturating
+// add: campaign counters near the int boundary clamp at math.MaxInt (or
+// math.MinInt) instead of wrapping, so a pathological merge can never turn
+// a rate denominator negative and silently flip a percentage. No field of
+// Rates is exempt — TestRatesAddMergesEveryField enforces by reflection
+// that a newly added field cannot be silently dropped here.
 func (r *Rates) Add(other Rates) {
-	r.CleanTrials += other.CleanTrials
-	r.CleanRejected += other.CleanRejected
-	r.CorruptTrials += other.CorruptTrials
-	r.CorruptRejected += other.CorruptRejected
-	r.SigTrials += other.SigTrials
-	r.SigAccepted += other.SigAccepted
-	r.Injections += other.Injections
-	r.Diverged += other.Diverged
-	r.Runs += other.Runs
+	r.CleanTrials = satAdd(r.CleanTrials, other.CleanTrials)
+	r.CleanRejected = satAdd(r.CleanRejected, other.CleanRejected)
+	r.CorruptTrials = satAdd(r.CorruptTrials, other.CorruptTrials)
+	r.CorruptRejected = satAdd(r.CorruptRejected, other.CorruptRejected)
+	r.SigTrials = satAdd(r.SigTrials, other.SigTrials)
+	r.SigAccepted = satAdd(r.SigAccepted, other.SigAccepted)
+	r.Injections = satAdd(r.Injections, other.Injections)
+	r.Diverged = satAdd(r.Diverged, other.Diverged)
+	r.Runs = satAdd(r.Runs, other.Runs)
+}
+
+// satAdd returns a+b clamped to the int range instead of wrapping.
+func satAdd(a, b int) int {
+	s := a + b
+	switch {
+	case b > 0 && s < a:
+		return math.MaxInt
+	case b < 0 && s > a:
+		return math.MinInt
+	}
+	return s
 }
 
 func pct(num, den int) float64 {
@@ -119,11 +138,21 @@ type Report struct {
 	Workers     int     `json:"workers,omitempty"`
 	CPUSeconds  float64 `json:"cpu_seconds,omitempty"`
 	Speedup     float64 `json:"speedup,omitempty"`
+
+	// Metrics is the campaign's metrics-registry snapshot, present when
+	// the campaign ran with Config.Metrics enabled.
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // NewReport assembles a Report from a config and its result.
 func NewReport(cfg Config, res *Result) Report {
+	var snap *telemetry.Snapshot
+	if res.Metrics != nil {
+		s := res.Metrics.Snapshot()
+		snap = &s
+	}
 	return Report{
+		Metrics:   snap,
 		Problem:   cfg.Problem.Name,
 		Method:    cfg.Tab.Name,
 		Injector:  cfg.Injector.Name(),

@@ -1,6 +1,9 @@
 package harness
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"repro/internal/xrand"
@@ -30,6 +33,14 @@ func (m *merger) merge(res *Result, out repOutcome) {
 	// Like the serial loop, the last merged replicate's detector supplies
 	// the mean double-checking order.
 	res.MeanOrder = out.meanOrder
+	// Observability attachments fold in replicate order too, which keeps
+	// the merged trace and the metric counters worker-count invariant.
+	if res.Trace != nil {
+		res.Trace.Merge(out.trace)
+	}
+	if res.Metrics != nil {
+		res.Metrics.Merge(out.metrics)
+	}
 }
 
 func (m *merger) finish(res *Result) {
@@ -39,6 +50,11 @@ func (m *merger) finish(res *Result) {
 	res.CPUSeconds = m.cpuSeconds
 	if res.WallSeconds > 0 {
 		res.Speedup = res.CPUSeconds / res.WallSeconds
+	}
+	if res.Metrics != nil {
+		res.Metrics.Gauge(MWallSeconds).Set(res.WallSeconds)
+		res.Metrics.Gauge(MCPUSeconds).Set(res.CPUSeconds)
+		res.Metrics.Gauge(MSpeedup).Set(res.Speedup)
 	}
 }
 
@@ -84,12 +100,20 @@ func runParallel(cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, m
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			// pprof labels mark each worker's samples with its index and
+			// the campaign's detector so CPU profiles of a campaign can be
+			// sliced per worker (`go tool pprof -tagfocus`).
+			go func(w int) {
 				defer wg.Done()
-				for i := range idx {
-					outs[i] = runReplicate(cfg, jobs[i])
-				}
-			}()
+				labels := pprof.Labels(
+					"campaign-worker", strconv.Itoa(w),
+					"detector", string(cfg.Detector))
+				pprof.Do(context.Background(), labels, func(context.Context) {
+					for i := range idx {
+						outs[i] = runReplicate(cfg, jobs[i])
+					}
+				})
+			}(w)
 		}
 		for i := range jobs {
 			idx <- i

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestRatesAddMergesEveryField sets every int field of two Rates values to
+// distinct sentinels through reflection and asserts Add sums each one. A
+// field added to Rates but forgotten in Add — the bug class this PR's audit
+// closed — fails here by construction.
+func TestRatesAddMergesEveryField(t *testing.T) {
+	var a, b Rates
+	av, bv := reflect.ValueOf(&a).Elem(), reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		if av.Field(i).Kind() != reflect.Int {
+			t.Fatalf("Rates field %s is %s; extend this test and Rates.Add for non-int fields",
+				av.Type().Field(i).Name, av.Field(i).Kind())
+		}
+		av.Field(i).SetInt(3)
+		bv.Field(i).SetInt(4)
+	}
+	a.Add(b)
+	for i := 0; i < av.NumField(); i++ {
+		if got := av.Field(i).Int(); got != 7 {
+			t.Errorf("Rates.Add dropped field %s: got %d, want 7", av.Type().Field(i).Name, got)
+		}
+	}
+}
+
+func TestRatesAddTable(t *testing.T) {
+	sample := Rates{
+		CleanTrials: 10, CleanRejected: 1,
+		CorruptTrials: 5, CorruptRejected: 4,
+		SigTrials: 3, SigAccepted: 1,
+		Injections: 6, Diverged: 2, Runs: 7,
+	}
+	double := Rates{
+		CleanTrials: 20, CleanRejected: 2,
+		CorruptTrials: 10, CorruptRejected: 8,
+		SigTrials: 6, SigAccepted: 2,
+		Injections: 12, Diverged: 4, Runs: 14,
+	}
+	cases := []struct {
+		name       string
+		into, from Rates
+		want       Rates
+	}{
+		{"zero into zero", Rates{}, Rates{}, Rates{}},
+		{"zero is identity", sample, Rates{}, sample},
+		{"zero receiver copies", Rates{}, sample, sample},
+		{"self doubles", sample, sample, double},
+		{
+			"saturates at MaxInt",
+			Rates{Injections: math.MaxInt - 1, Runs: math.MaxInt},
+			Rates{Injections: 5, Runs: 1},
+			Rates{Injections: math.MaxInt, Runs: math.MaxInt},
+		},
+		{
+			"saturates at MinInt",
+			Rates{Diverged: math.MinInt + 1},
+			Rates{Diverged: -5},
+			Rates{Diverged: math.MinInt},
+		},
+		{
+			"negative deltas still add when in range",
+			Rates{CleanTrials: 10},
+			Rates{CleanTrials: -3},
+			Rates{CleanTrials: 7},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.into
+			got.Add(tc.from)
+			if got != tc.want {
+				t.Errorf("Add:\ngot  %+v\nwant %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{1, 2, 3},
+		{-1, -2, -3},
+		{math.MaxInt, 1, math.MaxInt},
+		{math.MaxInt - 1, 1, math.MaxInt},
+		{1, math.MaxInt, math.MaxInt},
+		{math.MinInt, -1, math.MinInt},
+		{math.MinInt + 1, -1, math.MinInt},
+		{math.MaxInt, math.MinInt, -1},
+	}
+	for _, tc := range cases {
+		if got := satAdd(tc.a, tc.b); got != tc.want {
+			t.Errorf("satAdd(%d, %d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

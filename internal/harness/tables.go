@@ -15,6 +15,19 @@ type Options struct {
 	Seed          uint64
 	MinInjections int // per cell; the paper uses >= 10000
 	Workers       int // campaign workers per cell (see Config.Workers)
+
+	// Trace, TraceCap and Metrics enable the observability layer on every
+	// campaign cell (see the Config fields of the same names); the
+	// per-cell Result carries the trace and metrics back to the caller.
+	Trace    bool
+	TraceCap int
+	Metrics  bool
+}
+
+// telemetry copies the observability switches into a cell config.
+func (o Options) telemetry(cfg Config) Config {
+	cfg.Trace, cfg.TraceCap, cfg.Metrics = o.Trace, o.TraceCap, o.Metrics
+	return cfg
 }
 
 func (o Options) problem() *problems.Problem {
@@ -51,7 +64,7 @@ func RunGrid(o Options, tabs []*ode.Tableau, injs []inject.Injector, det Detecto
 	var cells []CellResult
 	for _, tab := range tabs {
 		for _, inj := range injs {
-			res, err := Run(Config{
+			res, err := Run(o.telemetry(Config{
 				Problem:       o.problem(),
 				Tab:           tab,
 				Injector:      inj,
@@ -59,7 +72,7 @@ func RunGrid(o Options, tabs []*ode.Tableau, injs []inject.Injector, det Detecto
 				Seed:          o.Seed + uint64(len(cells)),
 				MinInjections: o.minInj(),
 				Workers:       o.Workers,
-			})
+			}))
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s/%s: %w", tab.Name, inj.Name(), err)
 			}
@@ -166,7 +179,7 @@ func Table3(w io.Writer, o Options, tab *ode.Tableau, stateProb float64) (map[De
 	}
 	out := map[DetectorKind]*Result{}
 	for _, det := range []DetectorKind{Classic, LBDC, IBDC, Replication} {
-		res, err := Run(Config{
+		res, err := Run(o.telemetry(Config{
 			Problem:       o.problem(),
 			Tab:           tab,
 			Injector:      inject.Scaled{},
@@ -175,7 +188,7 @@ func Table3(w io.Writer, o Options, tab *ode.Tableau, stateProb float64) (map[De
 			MinInjections: o.minInj(),
 			Workers:       o.Workers,
 			StateProb:     stateProb,
-		})
+		}))
 		if err != nil {
 			return nil, fmt.Errorf("harness: table3 %s: %w", det, err)
 		}

@@ -50,8 +50,19 @@ func (c *Controller) ScaledDiff(a, b, w la.Vec) float64 {
 //	h_new = h * min(alphaMax, max(alphaMin, alpha*(1/SErr)^(1/controlOrder))).
 //
 // controlOrder is p̂+1 (Tableau.ControlOrder). A zero SErr yields the
-// maximum increase, as in PETSc.
+// maximum increase, as in PETSc. Degenerate inputs are sanitized rather
+// than propagated: a non-finite h returns 0 (driving the integrator into
+// its explicit MinStep underflow failure instead of poisoning the step
+// sequence with NaN), and a NaN or +Inf scaled error — a corrupted or
+// blown-up estimate — contracts maximally (the old behaviour let NaN fall
+// through the sErr > 0 comparison and selected the maximum increase).
 func (c *Controller) NewStepSize(h, sErr float64, controlOrder int) float64 {
+	if math.IsNaN(h) || math.IsInf(h, 0) {
+		return 0
+	}
+	if math.IsNaN(sErr) || math.IsInf(sErr, 1) {
+		return h * c.AlphaMin
+	}
 	factor := c.AlphaMax
 	if sErr > 0 {
 		a := c.Alpha * math.Pow(1/sErr, 1/float64(controlOrder))
@@ -66,7 +77,14 @@ func (c *Controller) NewStepSize(h, sErr float64, controlOrder int) float64 {
 // near the stability boundary by also weighing the previous scaled error.
 // Pass sErrPrev <= 0 on the first step to fall back to the elementary law.
 func (c *Controller) PIStepSize(h, sErr, sErrPrev float64, controlOrder int) float64 {
-	if sErrPrev <= 0 || sErr <= 0 {
+	if math.IsNaN(h) || math.IsInf(h, 0) {
+		return 0 // same degenerate-h contract as NewStepSize
+	}
+	// The !(x > 0) form routes NaN (for which every comparison is false)
+	// to the elementary law, which sanitizes it; Inf estimates go the same
+	// way so the PI power terms never see a non-finite operand.
+	if !(sErrPrev > 0) || !(sErr > 0) ||
+		math.IsInf(sErr, 1) || math.IsInf(sErrPrev, 1) {
 		return c.NewStepSize(h, sErr, controlOrder)
 	}
 	k := float64(controlOrder)

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/la"
+	"repro/internal/telemetry"
 )
 
 // Verdict is a Validator's decision about a controller-accepted trial step.
@@ -58,6 +59,29 @@ type CheckContext struct {
 	fPropDone  bool
 	fPropInjs  int
 	fPropEvals int
+
+	// Observability report filled in by the Validator via ReportCheck.
+	checkSErr2    float64
+	checkQ        int
+	checkC        int
+	checkReported bool
+}
+
+// ReportCheck lets a Validator expose the internals of the double-check it
+// just performed — the second scaled estimate SErr_2 and Algorithm 1's
+// order-adaptation state (current order q and checks c since the last
+// order selection) — so the integrator's tracer can record them. Pass
+// sErr2 < 0 when no second estimate was computed (e.g. a false-positive
+// rescue), and q or c as -1 when the detector has no such state.
+func (c *CheckContext) ReportCheck(sErr2 float64, q, checksInWindow int) {
+	c.checkSErr2, c.checkQ, c.checkC = sErr2, q, checksInWindow
+	c.checkReported = true
+}
+
+// CheckReport returns the values of the last ReportCheck call, with
+// ok = false when the Validator reported nothing.
+func (c *CheckContext) CheckReport() (sErr2 float64, q, checksInWindow int, ok bool) {
+	return c.checkSErr2, c.checkQ, c.checkC, c.checkReported
 }
 
 // NewCheckContext assembles a context for integrators defined outside this
@@ -141,6 +165,52 @@ type Trial struct {
 	ValidatorReject bool
 	FPRescue        bool
 	Accepted        bool
+
+	// SErr2 is the validator's second scaled estimate, -1 when no
+	// double-check ran (no validator, skipped for lack of history, or a
+	// classic rejection that never reached the validator).
+	SErr2 float64
+	// DetOrder and DetWindow mirror the validator's order-adaptation state
+	// (Algorithm 1's q and c) at this check; -1 when not applicable.
+	DetOrder  int
+	DetWindow int
+	// Significance is the ground-truth label of the trial. The integrator
+	// initializes it to telemetry.SigUnknown; a fault-injection harness's
+	// OnTrial observer may set it (telemetry.SigBenign/SigSignificant)
+	// before the event is handed to the Tracer, which runs after OnTrial.
+	Significance int8
+}
+
+// event flattens the trial into its telemetry record.
+func (tr *Trial) event() telemetry.StepEvent {
+	v := telemetry.VerdictAccept
+	switch {
+	case tr.ClassicReject:
+		v = telemetry.VerdictClassicReject
+	case tr.FPRescue:
+		v = telemetry.VerdictFPRescue
+	case tr.ValidatorReject:
+		v = telemetry.VerdictValidatorReject
+	}
+	return telemetry.StepEvent{
+		Step:    tr.StepIndex,
+		Attempt: tr.Attempt,
+		T:       tr.T,
+		H:       tr.H,
+		SErr1:   tr.SErr1,
+		SErr2:   tr.SErr2,
+		Q:       tr.DetOrder,
+		C:       tr.DetWindow,
+
+		Verdict:  v,
+		Accepted: tr.Accepted,
+
+		Injections:          tr.Injections,
+		StateInjections:     tr.StateInjections,
+		EstimateInjections:  tr.EstimateInjections,
+		InheritedCorruption: tr.InheritedCorruption,
+		Significant:         tr.Significance,
+	}
 }
 
 // Stats accumulates integration counters.
@@ -163,6 +233,11 @@ type Integrator struct {
 	Validator Validator
 	Hook      StageHook    // injection/observer hook for stage evaluations
 	OnTrial   func(*Trial) // harness observer, called for every trial
+	// Tracer, when non-nil, receives one telemetry.StepEvent per trial,
+	// after OnTrial has run (so observers can attach ground truth to the
+	// Trial first). Recording is purely observational — it consumes no
+	// randomness and no evaluations — and a nil Tracer costs nothing.
+	Tracer telemetry.Tracer
 	// StateHook may corrupt a transient copy of the solution vector as read
 	// by one trial — the paper's §V-D scenario of an SDC shifting x_{n-1}.
 	// The stored solution (and the history) stay clean, so a rejected trial
@@ -195,6 +270,9 @@ type Integrator struct {
 	fNextCorrupted bool
 	xTrialBuf      la.Vec  // transient state copy for StateHook corruption
 	sErrPrev       float64 // previous accepted scaled error (PI controller)
+	trial          Trial   // per-trial observer record, reused across trials
+	ctxBuf         CheckContext
+	fPropBuf       la.Vec // persistent FProp storage for the reused ctxBuf
 
 	weights la.Vec
 	Stats   Stats
@@ -238,6 +316,7 @@ func (in *Integrator) Init(sys System, t0, tEnd float64, x0 la.Vec, h0 float64) 
 	in.h = h0
 	in.fNext = la.NewVec(sys.Dim())
 	in.xTrialBuf = la.NewVec(sys.Dim())
+	in.fPropBuf = la.NewVec(sys.Dim())
 	in.haveFNext = false
 	in.fNextCorrupted = false
 	in.weights = la.NewVec(sys.Dim())
@@ -305,7 +384,9 @@ func (in *Integrator) Step() error {
 			sErr1 = in.Ctrl.ScaledError(res.ErrVec, in.weights)
 		}
 
-		trial := Trial{
+		// The trial record lives on the integrator so taking its address
+		// for OnTrial does not allocate per trial.
+		in.trial = Trial{
 			StepIndex: in.Stats.Steps, Attempt: attempt,
 			T: in.t, H: h,
 			XStart: in.x, XProp: res.XProp, Weights: in.weights,
@@ -313,14 +394,21 @@ func (in *Integrator) Step() error {
 			Injections:          res.Injections,
 			StateInjections:     stateInj,
 			InheritedCorruption: in.haveFNext && in.fNextCorrupted,
+			SErr2:               -1,
+			DetOrder:            -1,
+			DetWindow:           -1,
+			Significance:        telemetry.SigUnknown,
 		}
+		trial := &in.trial
 
 		var ctx *CheckContext
 		verdict := VerdictAccept
 		if sErr1 > 1 || math.IsNaN(sErr1) {
 			trial.ClassicReject = true
 		} else if in.Validator != nil {
-			ctx = &CheckContext{
+			// ctxBuf is integrator-owned scratch; fPropBuf persists across
+			// trials so FProp never reallocates its storage.
+			in.ctxBuf = CheckContext{
 				StepIndex: in.Stats.Steps,
 				T:         in.t, H: h,
 				XStart: xTrial, XStored: in.x, XProp: res.XProp, ErrVec: res.ErrVec,
@@ -329,10 +417,15 @@ func (in *Integrator) Step() error {
 				Recomputation: validatorRejectedLast,
 				integ:         in,
 				fsalFProp:     res.FProp,
+				fProp:         in.fPropBuf,
 			}
+			ctx = &in.ctxBuf
 			verdict = in.Validator.Validate(ctx)
 			trial.EstimateInjections = ctx.fPropInjs
 			in.Stats.Evals += int64(ctx.fPropEvals)
+			if sErr2, q, cWin, ok := ctx.CheckReport(); ok {
+				trial.SErr2, trial.DetOrder, trial.DetWindow = sErr2, q, cWin
+			}
 			switch verdict {
 			case VerdictReject:
 				trial.ValidatorReject = true
@@ -345,7 +438,10 @@ func (in *Integrator) Step() error {
 		accepted := !trial.ClassicReject && !trial.ValidatorReject
 		trial.Accepted = accepted
 		if in.OnTrial != nil {
-			in.OnTrial(&trial)
+			in.OnTrial(trial)
+		}
+		if in.Tracer != nil {
+			in.Tracer.Record(trial.event())
 		}
 
 		if accepted {

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// This file holds the exporters: JSONL and CSV for traces, JSON and CSV
+// for metric snapshots. Trace floats can legitimately be non-finite (a
+// corrupted step's SErr1 is +Inf), which encoding/json rejects, so the
+// JSONL writer emits them as null and the CSV writer as Go's "+Inf"/"NaN"
+// literals.
+
+// appendJSONFloat appends a JSON representation of f: a number when
+// finite, null otherwise.
+func appendJSONFloat(b []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
+// appendJSONL appends ev as one JSON object (no trailing newline).
+func appendJSONL(b []byte, ev *StepEvent) []byte {
+	b = append(b, `{"rep":`...)
+	b = strconv.AppendInt(b, int64(ev.Rep), 10)
+	if ev.Detector != "" {
+		b = append(b, `,"detector":`...)
+		b = strconv.AppendQuote(b, ev.Detector)
+	}
+	b = append(b, `,"step":`...)
+	b = strconv.AppendInt(b, int64(ev.Step), 10)
+	b = append(b, `,"attempt":`...)
+	b = strconv.AppendInt(b, int64(ev.Attempt), 10)
+	b = append(b, `,"t":`...)
+	b = appendJSONFloat(b, ev.T)
+	b = append(b, `,"h":`...)
+	b = appendJSONFloat(b, ev.H)
+	b = append(b, `,"serr1":`...)
+	b = appendJSONFloat(b, ev.SErr1)
+	b = append(b, `,"serr2":`...)
+	b = appendJSONFloat(b, ev.SErr2)
+	b = append(b, `,"q":`...)
+	b = strconv.AppendInt(b, int64(ev.Q), 10)
+	b = append(b, `,"c":`...)
+	b = strconv.AppendInt(b, int64(ev.C), 10)
+	b = append(b, `,"verdict":`...)
+	b = strconv.AppendQuote(b, ev.Verdict.String())
+	b = append(b, `,"accepted":`...)
+	b = strconv.AppendBool(b, ev.Accepted)
+	b = append(b, `,"inj":`...)
+	b = strconv.AppendInt(b, int64(ev.Injections), 10)
+	b = append(b, `,"state_inj":`...)
+	b = strconv.AppendInt(b, int64(ev.StateInjections), 10)
+	b = append(b, `,"est_inj":`...)
+	b = strconv.AppendInt(b, int64(ev.EstimateInjections), 10)
+	b = append(b, `,"inherited":`...)
+	b = strconv.AppendBool(b, ev.InheritedCorruption)
+	b = append(b, `,"significant":`...)
+	b = strconv.AppendInt(b, int64(ev.Significant), 10)
+	return append(b, '}')
+}
+
+// WriteJSONL writes the recorder's stored events as JSON Lines, oldest
+// first, one object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	var err error
+	r.Do(func(ev *StepEvent) {
+		if err != nil {
+			return
+		}
+		buf = appendJSONL(buf[:0], ev)
+		buf = append(buf, '\n')
+		_, err = bw.Write(buf)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// CSVHeader is the column layout of WriteCSV, aligned with the JSONL
+// field names.
+const CSVHeader = "rep,detector,step,attempt,t,h,serr1,serr2,q,c,verdict,accepted,inj,state_inj,est_inj,inherited,significant"
+
+// WriteCSV writes the recorder's stored events as CSV with a header row —
+// the plotting-friendly trace format. Non-finite floats appear as Go's
+// "+Inf"/"-Inf"/"NaN" literals.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, CSVHeader); err != nil {
+		return err
+	}
+	var buf []byte
+	var err error
+	r.Do(func(ev *StepEvent) {
+		if err != nil {
+			return
+		}
+		buf = buf[:0]
+		buf = strconv.AppendInt(buf, int64(ev.Rep), 10)
+		buf = append(buf, ',')
+		buf = append(buf, ev.Detector...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(ev.Step), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(ev.Attempt), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, ev.T, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, ev.H, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, ev.SErr1, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, ev.SErr2, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(ev.Q), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(ev.C), 10)
+		buf = append(buf, ',')
+		buf = append(buf, ev.Verdict.String()...)
+		buf = append(buf, ',')
+		buf = strconv.AppendBool(buf, ev.Accepted)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(ev.Injections), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(ev.StateInjections), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(ev.EstimateInjections), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendBool(buf, ev.InheritedCorruption)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(ev.Significant), 10)
+		buf = append(buf, '\n')
+		_, err = bw.Write(buf)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the registry snapshot as indented JSON. Non-finite
+// gauge or histogram values are sanitized to null-safe zeros first (they
+// only arise from degenerate timing measurements).
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	s := m.Snapshot()
+	for name, v := range s.Gauges {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			s.Gauges[name] = 0
+		}
+	}
+	for name, h := range s.Histograms {
+		if math.IsNaN(h.Sum) || math.IsInf(h.Sum, 0) {
+			h.Sum = 0
+			s.Histograms[name] = h
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the registry snapshot as "kind,name,value" rows, sorted
+// by kind then name (histograms emit one row per bucket plus count/sum).
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "kind,name,value"); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(m.counters) {
+		fmt.Fprintf(bw, "counter,%s,%d\n", name, m.counters[name].Value())
+	}
+	for _, name := range sortedKeys(m.gauges) {
+		fmt.Fprintf(bw, "gauge,%s,%g\n", name, m.gauges[name].Value())
+	}
+	for _, name := range sortedKeys(m.hists) {
+		h := m.hists[name]
+		fmt.Fprintf(bw, "histogram,%s.count,%d\n", name, h.Count())
+		fmt.Fprintf(bw, "histogram,%s.sum,%g\n", name, h.Sum())
+		for i, c := range h.Buckets() {
+			var upper string
+			if i < len(h.edges) {
+				upper = strconv.FormatFloat(h.edges[i], 'g', -1, 64)
+			} else {
+				upper = "+Inf"
+			}
+			fmt.Fprintf(bw, "histogram,%s.le.%s,%d\n", name, upper, c)
+		}
+	}
+	return bw.Flush()
+}
