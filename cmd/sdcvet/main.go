@@ -1,0 +1,26 @@
+// Command sdcvet runs the repo's custom static-analysis suite: five
+// go/analysis analyzers enforcing the determinism, float-safety, and
+// seed-discipline invariants the SDC-detection pipeline depends on.
+//
+// Usage:
+//
+//	go run ./cmd/sdcvet ./...
+//	go run ./cmd/sdcvet -json internal/ode internal/harness
+//	go run ./cmd/sdcvet -floatcmp=false -detrange.pkgs= ./...
+//
+// Each analyzer can be disabled with -<name>=false, and exposes its own
+// flags as -<name>.<flag>. Findings are suppressed, one by one and with a
+// recorded justification, via `//lint:allow <name> -- reason` comments;
+// stale or reasonless directives are themselves findings. Exit codes:
+// 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/dist"
+	"repro/internal/la"
 )
 
 func main() {
@@ -32,7 +33,7 @@ func main() {
 		}
 		match := "yes"
 		for i, v := range res.Field() {
-			if v != ref[i] {
+			if !la.ExactEq(v, ref[i]) {
 				match = fmt.Sprintf("NO (first diff at %d)", i)
 				break
 			}

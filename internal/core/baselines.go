@@ -46,7 +46,7 @@ func (r *Replication) Validate(c *ode.CheckContext) ode.Verdict {
 	}
 	res := r.stepper.Trial(c.T, c.H, c.XStored, nil, nil)
 	for i := range res.XProp {
-		if res.XProp[i] != c.XProp[i] || res.ErrVec[i] != c.ErrVec[i] {
+		if !la.ExactEq(res.XProp[i], c.XProp[i]) || !la.ExactEq(res.ErrVec[i], c.ErrVec[i]) {
 			r.Stats.Rejections++
 			return ode.VerdictReject
 		}
@@ -100,7 +100,7 @@ func (t *TMR) Validate(c *ode.CheckContext) ode.Verdict {
 	r2 := t.stepper.Trial(c.T, c.H, c.XStored, nil, nil)
 	primaryOK := true
 	for i := range c.XProp {
-		if c.XProp[i] != t.buf[i] {
+		if !la.ExactEq(c.XProp[i], t.buf[i]) {
 			primaryOK = false
 			break
 		}
@@ -111,7 +111,7 @@ func (t *TMR) Validate(c *ode.CheckContext) ode.Verdict {
 	// Replicas agree with each other (clean); correct the primary in place.
 	replicasAgree := true
 	for i := range t.buf {
-		if t.buf[i] != r2.XProp[i] {
+		if !la.ExactEq(t.buf[i], r2.XProp[i]) {
 			replicasAgree = false
 			break
 		}
@@ -234,7 +234,7 @@ func (a *AID) ValidateFixed(c *ode.FixedCheckContext) bool {
 	if reject {
 		// A recomputation reproducing the same surrogate marks a false
 		// positive; relax the threshold.
-		if a.haveLast && c.Recomputation && diff == a.lastDiff {
+		if a.haveLast && c.Recomputation && la.ExactEq(diff, a.lastDiff) {
 			a.eta += 0.5
 			a.haveLast = false
 			a.Stats.FPRescues++
@@ -331,7 +331,7 @@ func (h *HotRode) ValidateFixed(c *ode.FixedCheckContext) bool {
 		return true
 	}
 	if s > h.threshold() {
-		if h.haveLast && c.Recomputation && s == h.lastS {
+		if h.haveLast && c.Recomputation && la.ExactEq(s, h.lastS) {
 			// Same surrogate after recomputation: false positive; inflate
 			// the threshold additively, as the original detector does.
 			h.fpCount++

@@ -276,7 +276,7 @@ func (d *DoubleCheck) Validate(c *ode.CheckContext) ode.Verdict {
 
 	// False-positive self-detection: a recomputation of a step we rejected
 	// that reproduces the identical scaled error must have been clean.
-	if d.haveLast && c.Recomputation && c.SErr1 == d.lastSErr {
+	if d.haveLast && c.Recomputation && la.ExactEq(c.SErr1, d.lastSErr) {
 		d.haveLast = false
 		d.fp[d.lastQ]++
 		d.fpWin++

@@ -188,21 +188,21 @@ func RunAdaptiveBurgers(cfg AdaptiveConfig) (*AdaptiveResult, error) {
 			errv.Scale(h / 2)
 			la.ErrWeights(w, prop, cfg.TolA, cfg.TolR)
 			sErr := globalWRMS(errv, w)
-			if sErr > 1 {
+			if reject, fac := classicReject(sErr); reject {
 				if rank == 0 {
 					res.RejClassic++
 				}
-				h *= math.Min(1, math.Max(0.1, 0.9*math.Pow(1/sErr, 0.5)))
+				h *= fac
 				continue
 			}
-			if cfg.IBDC && hist.Len() >= 1 && sErr != lastSErr {
+			if cfg.IBDC && hist.Len() >= 1 && !la.ExactEq(sErr, lastSErr) {
 				// sErr == lastSErr marks a recomputation reproducing the
 				// identical classic error: Algorithm 1's false-positive
 				// rescue, which accepts without re-running the check.
 				q := ode.MaxBDFOrder(hist, cfg.QMax)
 				rhs(prop, fProp)
 				ode.BDFEstimate(est, hist, q, t+h, fProp)
-				if sErr2 := globalWRMS(diffInto(est, prop, est), w); sErr2 > 1 {
+				if sErr2 := globalWRMS(diffInto(est, prop, est), w); detectorReject(sErr2) {
 					if rank == 0 {
 						res.RejDetector++
 					}
@@ -233,6 +233,30 @@ func RunAdaptiveBurgers(cfg AdaptiveConfig) (*AdaptiveResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// classicReject decides the classic controller's verdict for the globally
+// reduced scaled error, returning the step-contraction factor on
+// rejection. A NaN scaled error marks a corrupted reduction: every ordered
+// comparison with NaN is false, so a plain `sErr > 1` guard would fall
+// through to acceptance — the exact silent-corruption hazard this solver
+// exists to catch. NaN rejects with maximum contraction (the estimate
+// carries no size information), and since sErr is identical on every rank
+// the decision stays in lockstep.
+func classicReject(sErr float64) (reject bool, factor float64) {
+	if math.IsNaN(sErr) {
+		return true, 0.1
+	}
+	if sErr > 1 {
+		return true, math.Min(1, math.Max(0.1, 0.9*math.Pow(1/sErr, 0.5)))
+	}
+	return false, 1
+}
+
+// detectorReject decides IBDC's verdict for the second estimate's scaled
+// error, with the same NaN-rejects rule as classicReject.
+func detectorReject(sErr2 float64) bool {
+	return math.IsNaN(sErr2) || sErr2 > 1
 }
 
 // diffInto computes dst = a - b (dst may alias a) and returns dst.

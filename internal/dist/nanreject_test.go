@@ -1,0 +1,60 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression for the NaN fall-through found by the floatcmp analyzer: the
+// classic guard was `sErr > 1`, which is false for NaN, so a corrupted
+// scaled-error reduction silently accepted the step. A NaN must reject
+// with maximum contraction.
+func TestClassicRejectNaNFallThrough(t *testing.T) {
+	reject, fac := classicReject(math.NaN())
+	if !reject {
+		t.Fatal("NaN scaled error accepted: the corrupted reduction fell through the ordered comparison")
+	}
+	if fac != 0.1 {
+		t.Fatalf("NaN rejection factor = %g, want maximum contraction 0.1", fac)
+	}
+}
+
+func TestClassicRejectVerdicts(t *testing.T) {
+	cases := []struct {
+		sErr   float64
+		reject bool
+	}{
+		{0, false},
+		{0.5, false},
+		{1, false},
+		{1.0000001, true},
+		{4, true},
+		{math.Inf(1), true},
+	}
+	for _, c := range cases {
+		reject, fac := classicReject(c.sErr)
+		if reject != c.reject {
+			t.Errorf("classicReject(%g) = %v, want %v", c.sErr, reject, c.reject)
+		}
+		if reject && !(fac >= 0.1 && fac <= 1) {
+			t.Errorf("classicReject(%g) factor %g outside [0.1, 1]", c.sErr, fac)
+		}
+	}
+	// The contraction factor must be well-defined (not NaN) even at +Inf,
+	// where 1/sErr underflows to 0.
+	if _, fac := classicReject(math.Inf(1)); math.IsNaN(fac) {
+		t.Error("classicReject(+Inf) produced a NaN step factor")
+	}
+}
+
+func TestDetectorRejectNaN(t *testing.T) {
+	if !detectorReject(math.NaN()) {
+		t.Fatal("NaN second estimate accepted: IBDC's check fell through the ordered comparison")
+	}
+	if detectorReject(0.9) {
+		t.Error("detectorReject(0.9) = true, want accept")
+	}
+	if !detectorReject(1.1) {
+		t.Error("detectorReject(1.1) = false, want reject")
+	}
+}

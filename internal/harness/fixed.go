@@ -75,6 +75,7 @@ func RunFixed(cfg FixedConfig) (*Result, error) {
 
 	res := &Result{}
 	root := xrand.New(cfg.Seed ^ 0xf1eed)
+	//lint:allow walltime -- §VI-B wall-clock overhead metric; WallSeconds is excluded from determinism comparisons
 	start := time.Now()
 	for rep := 0; rep < maxRuns && res.Rates.Injections < minInj; rep++ {
 		plan := inject.NewPlan(root.Split(uint64(rep)), cfg.Injector)
@@ -101,53 +102,38 @@ func RunFixed(cfg FixedConfig) (*Result, error) {
 		in.OnTrial = func(tr *ode.Trial) {
 			rejected := tr.ValidatorReject
 			corrupted := tr.Injections > 0
-			if !corrupted {
-				res.Rates.CleanTrials++
-				if rejected {
-					res.Rates.CleanRejected++
+			significant := false
+			if corrupted {
+				restore := plan.Pause()
+				clean := shadow.Trial(tr.T, tr.H, tr.XStart, nil, nil)
+				restore()
+				// Fixed-solver significance: deviation > LTE/10 (Hot Rode's
+				// convention, since there is no user tolerance to compare with).
+				cw.CopyFrom(clean.ErrVec)
+				thresh := cw.NormInf() / 10
+				if thresh == 0 {
+					thresh = 1e-300
 				}
-				return
-			}
-			res.Rates.CorruptTrials++
-			res.Rates.Injections += tr.Injections
-			if rejected {
-				res.Rates.CorruptRejected++
-			}
-			restore := plan.Pause()
-			clean := shadow.Trial(tr.T, tr.H, tr.XStart, nil, nil)
-			restore()
-			// Fixed-solver significance: deviation > LTE/10 (Hot Rode's
-			// convention, since there is no user tolerance to compare with).
-			cw.CopyFrom(clean.ErrVec)
-			thresh := cw.NormInf() / 10
-			if thresh == 0 {
-				thresh = 1e-300
-			}
-			var dev float64
-			for i := range clean.XProp {
-				if d := tr.XProp[i] - clean.XProp[i]; d > dev {
-					dev = d
-				} else if -d > dev {
-					dev = -d
+				var dev float64
+				for i := range clean.XProp {
+					if d := tr.XProp[i] - clean.XProp[i]; d > dev {
+						dev = d
+					} else if -d > dev {
+						dev = -d
+					}
 				}
+				significant = dev > thresh
 			}
-			if dev > thresh {
-				res.Rates.SigTrials++
-				if !rejected {
-					res.Rates.SigAccepted++
-				}
-			}
+			res.Rates.Tally(corrupted, rejected, significant, tr.Injections)
 		}
 
 		in.Init(counting, p.T0, p.X0, h)
-		if err := in.RunN(steps); err != nil {
-			res.Rates.Diverged++
-		}
-		res.Rates.Runs++
+		res.Rates.TallyRun(in.RunN(steps) != nil)
 		res.Steps += in.Stats.Steps
 		res.TrialSteps += in.Stats.TrialSteps
 		res.Evals += counting.Evals
 	}
+	//lint:allow walltime -- §VI-B wall-clock overhead metric; WallSeconds is excluded from determinism comparisons
 	res.WallSeconds = time.Since(start).Seconds()
 	return res, nil
 }

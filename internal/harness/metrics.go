@@ -53,6 +53,41 @@ func (r *Rates) Add(other Rates) {
 	r.Runs = satAdd(r.Runs, other.Runs)
 }
 
+// Tally records one classified trial. It is the only sanctioned way to
+// count a trial into Rates (the satarith analyzer rejects raw increments
+// elsewhere): every path funnels through the same saturating arithmetic as
+// Add, and the clean/corrupt bookkeeping cannot drift between call sites.
+// injections is the number of solution-feeding SDCs applied to this trial;
+// significant is ignored for clean trials.
+func (r *Rates) Tally(corrupted, rejected, significant bool, injections int) {
+	if !corrupted {
+		r.CleanTrials = satAdd(r.CleanTrials, 1)
+		if rejected {
+			r.CleanRejected = satAdd(r.CleanRejected, 1)
+		}
+		return
+	}
+	r.CorruptTrials = satAdd(r.CorruptTrials, 1)
+	r.Injections = satAdd(r.Injections, injections)
+	if rejected {
+		r.CorruptRejected = satAdd(r.CorruptRejected, 1)
+	}
+	if significant {
+		r.SigTrials = satAdd(r.SigTrials, 1)
+		if !rejected {
+			r.SigAccepted = satAdd(r.SigAccepted, 1)
+		}
+	}
+}
+
+// TallyRun records one completed integration, diverged or not.
+func (r *Rates) TallyRun(diverged bool) {
+	if diverged {
+		r.Diverged = satAdd(r.Diverged, 1)
+	}
+	r.Runs = satAdd(r.Runs, 1)
+}
+
 // satAdd returns a+b clamped to the int range instead of wrapping.
 func satAdd(a, b int) int {
 	s := a + b

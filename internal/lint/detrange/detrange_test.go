@@ -1,0 +1,22 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detrange"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetrange(t *testing.T) {
+	// Empty -pkgs puts every package in scope, including testdata.
+	linttest.SetFlags(t, detrange.Analyzer, map[string]string{"pkgs": ""})
+	linttest.Run(t, "testdata/src/a", "a", detrange.Analyzer)
+}
+
+func TestDetrangeSkipsUnlistedPackages(t *testing.T) {
+	// Package quiet contains a would-be finding but does not match the
+	// -pkgs gate, so the analyzer must report nothing (quiet.go carries no
+	// want comments, and any unclaimed diagnostic fails the test).
+	linttest.SetFlags(t, detrange.Analyzer, map[string]string{"pkgs": "repro/internal/ode"})
+	linttest.Run(t, "testdata/src/quiet", "quiet", detrange.Analyzer)
+}

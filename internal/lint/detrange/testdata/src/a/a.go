@@ -1,0 +1,63 @@
+// Package a exercises detrange: ordered output produced inside map
+// iteration, and the collect-then-sort discharge.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside map iteration`
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printDirect(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside map iteration`
+	}
+}
+
+func sliceStore(m map[int]int, out []int) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want `slice element store inside map iteration`
+		i++
+	}
+}
+
+func send(m map[int]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map iteration`
+	}
+}
+
+func sliceRangeIsFine(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}
+
+func excused(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:allow detrange -- order is irrelevant: the result is used as a set
+		keys = append(keys, k)
+	}
+	return keys
+}

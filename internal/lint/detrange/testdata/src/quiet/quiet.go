@@ -1,0 +1,12 @@
+// Package quiet holds a would-be finding that must stay silent when the
+// package is outside the -pkgs gate (no want comments: any diagnostic
+// fails the test).
+package quiet
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,138 @@
+// Package directive parses and validates the sdcvet escape-hatch comments.
+//
+// A finding is suppressed by a directive of the form
+//
+//	//lint:allow <analyzer> -- <reason>
+//
+// placed on the flagged line, on the line immediately above it, or in the
+// doc comment of the enclosing function declaration. The reason after the
+// " -- " separator is mandatory: an exemption without a recorded
+// justification is itself a finding, as is a directive that no longer
+// suppresses anything (so stale escape hatches cannot silently accumulate
+// after the code they excused is gone).
+package directive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Prefix is the comment marker shared by every sdcvet escape hatch.
+const Prefix = "//lint:allow"
+
+// Allow is one parsed //lint:allow directive.
+type Allow struct {
+	Analyzer string // analyzer the directive addresses
+	Reason   string // mandatory justification after " -- "
+	Pos      token.Pos
+	Line     int  // line the directive comment starts on
+	FuncDoc  bool // directive sits in a function's doc comment
+	used     bool
+}
+
+// Index holds the directives of one package that address one analyzer,
+// plus the malformed ones (reported immediately by Collect).
+type Index struct {
+	pass   *analysis.Pass
+	allows []*Allow
+}
+
+// Collect scans the pass's files for directives addressing the named
+// analyzer. Malformed directives (no analyzer name, or a missing " -- "
+// reason) that mention the analyzer are reported right away.
+func Collect(pass *analysis.Pass, analyzer string) *Index {
+	idx := &Index{pass: pass}
+	for _, f := range pass.Files {
+		funcDocs := make(map[*ast.CommentGroup]bool)
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcDocs[fd.Doc] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, Prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, Prefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				name, reason, ok := cut(strings.TrimSpace(rest))
+				if name != analyzer {
+					continue
+				}
+				if !ok || reason == "" {
+					pass.Reportf(c.Pos(), "malformed %s directive: want %q", Prefix, Prefix+" "+analyzer+" -- <reason>")
+					continue
+				}
+				idx.allows = append(idx.allows, &Allow{
+					Analyzer: analyzer,
+					Reason:   reason,
+					Pos:      c.Pos(),
+					Line:     pass.Fset.Position(c.Pos()).Line,
+					FuncDoc:  funcDocs[cg],
+				})
+			}
+		}
+	}
+	return idx
+}
+
+// cut splits "name -- reason" and reports whether the separator was present.
+func cut(s string) (name, reason string, ok bool) {
+	if i := strings.Index(s, " -- "); i >= 0 {
+		return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+4:]), true
+	}
+	return strings.TrimSpace(s), "", false
+}
+
+// Allowed reports whether a finding at pos is suppressed by a line-level
+// directive (same line or the line immediately above). A match marks the
+// directive as used.
+func (idx *Index) Allowed(pos token.Pos) bool {
+	line := idx.pass.Fset.Position(pos).Line
+	hit := false
+	for _, a := range idx.allows {
+		if !a.FuncDoc && (a.Line == line || a.Line == line-1) {
+			a.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// AllowedFunc reports whether a finding inside fn is suppressed by a
+// directive in fn's doc comment. A match marks the directive as used.
+func (idx *Index) AllowedFunc(fn *ast.FuncDecl) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	lo, hi := fn.Doc.Pos(), fn.Doc.End()
+	hit := false
+	for _, a := range idx.allows {
+		if a.FuncDoc && a.Pos >= lo && a.Pos <= hi {
+			a.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// ReportUnused flags every directive that suppressed nothing. Analyzers
+// call it at the end of their Run so stale escape hatches fail the build
+// just like the findings they once excused.
+func (idx *Index) ReportUnused() {
+	for _, a := range idx.allows {
+		if !a.used {
+			idx.pass.Report(analysis.Diagnostic{
+				Pos:     a.Pos,
+				Message: fmt.Sprintf("unused %s %s directive (nothing on this line needs the exemption; delete it)", Prefix, a.Analyzer),
+			})
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/floatcmp"
+	"repro/internal/lint/linttest"
+)
+
+func TestFloatcmp(t *testing.T) {
+	linttest.SetFlags(t, floatcmp.Analyzer, map[string]string{
+		"helpers": "a.ExactEq",
+		"nanpkgs": "a",
+	})
+	linttest.Run(t, "testdata/src/a", "a", floatcmp.Analyzer)
+}

@@ -1,0 +1,71 @@
+// Package a exercises both floatcmp checks: exact float equality and the
+// NaN fall-through guard (by function name and by -nanpkgs gating).
+package a
+
+import "math"
+
+func exactCompare(a, b float64) bool {
+	return a == b // want `exact == on float operands`
+}
+
+func exactDiffer(a, b float32) bool {
+	return a != b // want `exact != on float operands`
+}
+
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+func zeroSentinel(tol float64) bool {
+	return tol == 0 // zero-constant sentinel: unset-config convention
+}
+
+// ExactEq is the designated helper named by -helpers; its body is trusted.
+func ExactEq(a, b float64) bool { return a == b }
+
+func excusedCompare(a, b float64) bool {
+	//lint:allow floatcmp -- bitwise identity is the point of this check
+	return a != b
+}
+
+// NewStepSize matches -nanfuncs: its ordered branch comparisons must be
+// NaN-guarded.
+func NewStepSize(sErr float64) float64 {
+	if sErr > 0 { // want `NaN falls through`
+		return 0.5
+	}
+	return 2
+}
+
+// GuardedStepSize sanitizes the operand, discharging the guard.
+func GuardedStepSize(sErr float64) float64 {
+	if math.IsNaN(sErr) {
+		return 0.1
+	}
+	if sErr > 0 {
+		return 0.5
+	}
+	return 2
+}
+
+// WaivedStepSize carries a function-level exemption in its doc comment.
+//
+//lint:allow floatcmp -- caller guarantees a finite scaled error
+func WaivedStepSize(sErr float64) float64 {
+	if sErr > 0 {
+		return 0.5
+	}
+	return 1
+}
+
+// pkgGated is reached through -nanpkgs: only operands matching -nanvars
+// are held to the guard.
+func pkgGated(sErr, other float64) float64 {
+	if sErr > 1 { // want `NaN falls through`
+		return 1
+	}
+	if other > 1 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,182 @@
+// Package linttest is the repo's offline analogue of
+// golang.org/x/tools/go/analysis/analysistest (which the vendored
+// toolchain subset does not include): it runs one analyzer over a
+// self-contained testdata package and compares the diagnostics against
+// `// want "regex"` comments in the sources.
+//
+// A want comment names one or more quoted regular expressions; each must
+// match the message of a distinct diagnostic reported on that line, and
+// every diagnostic must be claimed by a want. Both backquoted and
+// double-quoted forms are accepted:
+//
+//	x := a == b // want `exact == on float operands`
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint"
+)
+
+// SetFlags sets analyzer flags for the duration of the test and restores
+// the previous values at cleanup, so tests can ungate package-scoped
+// analyzers without leaking state into later tests.
+func SetFlags(t *testing.T, a *analysis.Analyzer, kv map[string]string) {
+	t.Helper()
+	for k, v := range kv {
+		f := a.Flags.Lookup(k)
+		if f == nil {
+			t.Fatalf("analyzer %s has no flag %q", a.Name, k)
+		}
+		old := f.Value.String()
+		if err := f.Value.Set(v); err != nil {
+			t.Fatalf("set -%s.%s=%q: %v", a.Name, k, v, err)
+		}
+		t.Cleanup(func() { f.Value.Set(old) })
+	}
+}
+
+// Run loads the single package in dir under the import path pkgpath, runs
+// the analyzer, and reports every mismatch between diagnostics and want
+// comments as a test error.
+func Run(t *testing.T, dir, pkgpath string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, modPath, err := lint.FindModule(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := lint.NewLoader(root, modPath)
+	pkg, err := ld.LoadDir(pkgpath, abs)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := ld.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	wants, err := parseWants(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		key := loc{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		if !claim(wants[key], d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", key.file, key.line, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.claimed {
+				t.Errorf("%s:%d: no diagnostic matched want %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type loc struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	claimed bool
+}
+
+// claim marks the first unclaimed want matching msg and reports success.
+func claim(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.claimed && w.re.MatchString(msg) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// parseWants scans every .go file in dir for want comments.
+func parseWants(dir string) (map[loc][]*want, error) {
+	out := make(map[loc][]*want)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			res, err := splitPatterns(m[1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", e.Name(), i+1, err)
+			}
+			key := loc{e.Name(), i + 1}
+			for _, re := range res {
+				out[key] = append(out[key], &want{re: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitPatterns parses the space-separated quoted regexes of one want
+// comment.
+func splitPatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		var raw string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated pattern %s", s)
+			}
+			raw, s = s[1:1+end], s[2+end:]
+		case '"':
+			var err error
+			end := len(s)
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			raw, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad pattern %s: %v", s, err)
+			}
+			s = s[end+1:]
+		default:
+			return nil, fmt.Errorf("want pattern must be quoted, got %s", s)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}

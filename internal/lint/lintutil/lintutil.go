@@ -1,0 +1,37 @@
+// Package lintutil holds the few helpers the sdcvet analyzers share:
+// test-file detection (the determinism invariants bind production code;
+// tests deliberately compare floats bitwise and pin literal seeds) and
+// package gating by path suffix.
+package lintutil
+
+import (
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// InTestFile reports whether pos lies in a _test.go file.
+func InTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgMatches reports whether the pass's package path matches any of the
+// comma-separated path suffixes (exact path or suffix at a path-segment
+// boundary; the implicit foo_test external test package matches through
+// its base package). An empty list matches every package.
+func PkgMatches(pass *analysis.Pass, sufList string) bool {
+	path := strings.TrimSuffix(pass.Pkg.Path(), "_test")
+	any := false
+	for _, suf := range strings.Split(sufList, ",") {
+		suf = strings.TrimSpace(suf)
+		if suf == "" {
+			continue
+		}
+		any = true
+		if path == suf || strings.HasSuffix(path, "/"+suf) || strings.HasSuffix(path, suf) {
+			return true
+		}
+	}
+	return !any
+}

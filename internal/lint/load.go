@@ -1,0 +1,283 @@
+// Package lint is the driver behind cmd/sdcvet: it loads and type-checks
+// the module's packages with nothing but the standard library (module and
+// vendored import paths are resolved internally, standard-library
+// dependencies through go/importer's source importer, so the tool works in
+// the offline build environment), then runs the repo's custom
+// golang.org/x/tools/go/analysis analyzers over every loaded package.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Pkg is one loaded, type-checked package. Module packages are augmented
+// with their in-package _test.go files (like go vet's augmented units), and
+// carry their external foo_test package, when any, as a second unit.
+type Pkg struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// External test package (package foo_test), loaded only for packages
+	// inside the module.
+	XFiles []*ast.File
+	XTypes *types.Package
+	XInfo  *types.Info
+}
+
+// Loader resolves import paths to directories and type-checks packages.
+// It is not safe for concurrent use; analyses run sequentially, which also
+// keeps diagnostic order deterministic.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	// IncludeTests augments module packages with their test files.
+	IncludeTests bool
+
+	ctx    build.Context
+	source types.Importer
+	// targets caches analysis targets (test-augmented); deps caches
+	// packages loaded only to satisfy imports (never augmented — a test
+	// file's imports must not become part of the dependency graph, or a
+	// test importing a downstream helper would fabricate import cycles).
+	targets map[string]*Pkg
+	deps    map[string]*Pkg
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module directory moduleRoot
+// whose go.mod declares modulePath.
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	ctx := build.Default
+	ctx.CgoEnabled = false // pure-Go variants everywhere; the repo has no cgo
+	return &Loader{
+		Fset:         fset,
+		ModuleRoot:   moduleRoot,
+		ModulePath:   modulePath,
+		IncludeTests: true,
+		ctx:          ctx,
+		source:       importer.ForCompiler(fset, "source", nil),
+		targets:      make(map[string]*Pkg),
+		deps:         make(map[string]*Pkg),
+		loading:      make(map[string]bool),
+	}
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func FindModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// dirFor maps an import path to the directory holding its sources, or ""
+// for paths the source importer should resolve (standard library).
+func (l *Loader) dirFor(path string) (dir string, inModule bool) {
+	if path == l.ModulePath {
+		return l.ModuleRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest)), true
+	}
+	vendored := filepath.Join(l.ModuleRoot, "vendor", filepath.FromSlash(path))
+	if fi, err := os.Stat(vendored); err == nil && fi.IsDir() {
+		return vendored, false
+	}
+	return "", false
+}
+
+// Load returns the type-checked package for an import path as an analysis
+// target: module packages are augmented with their in-package test files
+// and carry their external test package.
+func (l *Loader) Load(path string) (*Pkg, error) {
+	if p, ok := l.targets[path]; ok {
+		return p, nil
+	}
+	dir, inModule := l.dirFor(path)
+	if dir == "" {
+		return l.loadImport(path)
+	}
+	p, err := l.loadDir(path, dir, inModule && l.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	l.targets[path] = p
+	return p, nil
+}
+
+// loadImport resolves a dependency: the plain package body, never
+// test-augmented, exactly like the import graph the go toolchain builds.
+func (l *Loader) loadImport(path string) (*Pkg, error) {
+	if p, ok := l.deps[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, _ := l.dirFor(path)
+	if dir == "" {
+		// Standard library: types only, never analyzed.
+		tpkg, err := l.source.Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: import %q: %v", path, err)
+		}
+		p := &Pkg{Path: path, Types: tpkg}
+		l.deps[path] = p
+		return p, nil
+	}
+	p, err := l.loadDir(path, dir, false)
+	if err != nil {
+		return nil, err
+	}
+	l.deps[path] = p
+	return p, nil
+}
+
+// LoadDir type-checks the package in dir under the given import path
+// without consulting the module mapping — the hook linttest and the golden
+// tests use to load self-contained testdata packages.
+func (l *Loader) LoadDir(path, dir string) (*Pkg, error) {
+	if p, ok := l.targets[path]; ok {
+		return p, nil
+	}
+	p, err := l.loadDir(path, dir, false)
+	if err != nil {
+		return nil, err
+	}
+	l.targets[path] = p
+	return p, nil
+}
+
+func (l *Loader) loadDir(path, dir string, tests bool) (*Pkg, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %v", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	if tests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+	files, err := l.parseFiles(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pkg{Path: path, Dir: dir, Files: files}
+	p.Types, p.Info, err = l.check(path, files, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	if tests && len(bp.XTestGoFiles) > 0 {
+		xnames := append([]string(nil), bp.XTestGoFiles...)
+		sort.Strings(xnames)
+		p.XFiles, err = l.parseFiles(dir, xnames)
+		if err != nil {
+			return nil, err
+		}
+		// The external test package imports the augmented package under
+		// test (in-package test helpers are visible to it), passed as the
+		// self override.
+		p.XTypes, p.XInfo, err = l.check(path+"_test", p.XFiles, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func (l *Loader) check(path string, files []*ast.File, self *Pkg) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) {
+			if ipath == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if self != nil && ipath == self.Path {
+				return self.Types, nil
+			}
+			dep, err := l.loadImport(ipath)
+			if err != nil {
+				return nil, err
+			}
+			return dep.Types, nil
+		}),
+		Sizes: types.SizesFor("gc", l.ctx.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, nil, fmt.Errorf("lint: type error: %v", firstErr)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: %s: %v", path, err)
+	}
+	return tpkg, info, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

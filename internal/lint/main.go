@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/detrange"
+	"repro/internal/lint/floatcmp"
+	"repro/internal/lint/satarith"
+	"repro/internal/lint/seedflow"
+	"repro/internal/lint/walltime"
+)
+
+// All returns the repo's analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrange.Analyzer,
+		floatcmp.Analyzer,
+		satarith.Analyzer,
+		seedflow.Analyzer,
+		walltime.Analyzer,
+	}
+}
+
+// jsonDiag is the -json wire form of one finding, with module-relative
+// slash-separated paths so output is stable across checkouts.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// Main is the sdcvet command: it loads the named packages (patterns may be
+// import paths, directories, or `...` wildcards; default `./...`), runs
+// every enabled analyzer, and prints the findings. Exit codes: 0 clean,
+// 1 findings, 2 usage or load failure.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sdcvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	dirFlag := fs.String("dir", "", "resolve patterns relative to this directory instead of the working directory")
+	enabled := make(map[string]*bool)
+	for _, a := range All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			fs.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	base := *dirFlag
+	if base == "" {
+		var err error
+		if base, err = os.Getwd(); err != nil {
+			fmt.Fprintln(stderr, "sdcvet:", err)
+			return 2
+		}
+	}
+	root, modPath, err := FindModule(base)
+	if err != nil {
+		fmt.Fprintln(stderr, "sdcvet:", err)
+		return 2
+	}
+	paths, err := expandPatterns(base, root, modPath, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "sdcvet:", err)
+		return 2
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range All() {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	loader := NewLoader(root, modPath)
+	var diags []Diag
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "sdcvet:", err)
+			return 2
+		}
+		ds, err := loader.Run(pkg, active)
+		if err != nil {
+			fmt.Fprintln(stderr, "sdcvet:", err)
+			return 2
+		}
+		diags = append(diags, ds...)
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+
+	if *jsonOut {
+		out := []jsonDiag{} // never null, so goldens stay stable
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     relPath(root, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "sdcvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", relPath(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// expandPatterns resolves command-line package patterns to import paths.
+func expandPatterns(base, root, modPath string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		dir, err := resolveDir(base, root, modPath, pat)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			p, err := importPathOf(root, modPath, dir)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+			continue
+		}
+		err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "vendor" || name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				p, err := importPathOf(root, modPath, path)
+				if err != nil {
+					return err
+				}
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func resolveDir(base, root, modPath, pat string) (string, error) {
+	switch {
+	case pat == "." || strings.HasPrefix(pat, "./") || strings.HasPrefix(pat, "../") || filepath.IsAbs(pat):
+		if !filepath.IsAbs(pat) {
+			pat = filepath.Join(base, pat)
+		}
+		return filepath.Clean(pat), nil
+	case pat == modPath:
+		return root, nil
+	case strings.HasPrefix(pat, modPath+"/"):
+		return filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, modPath+"/"))), nil
+	default:
+		// A module-relative path like internal/ode.
+		return filepath.Join(root, filepath.FromSlash(pat)), nil
+	}
+}
+
+func importPathOf(root, modPath, dir string) (string, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, root)
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package lint_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// ungate holds the flag overrides that put the fixture packages in every
+// analyzer's scope. Main applies them from argv exactly as a CI invocation
+// would.
+var ungate = []string{
+	"-detrange.pkgs=",
+	"-walltime.pkgs=",
+	"-floatcmp.nanpkgs=",
+	"-satarith.types=repro/internal/lint/testdata/src/sample.Rates,repro/internal/lint/testdata/src/sampleallow.Rates",
+}
+
+// snapshotFlags restores every analyzer flag Main may mutate, so tests
+// leave the shared analyzer state as they found it.
+func snapshotFlags(t *testing.T) {
+	t.Helper()
+	for _, a := range lint.All() {
+		a := a
+		saved := make(map[string]string)
+		a.Flags.VisitAll(func(f *flag.Flag) { saved[f.Name] = f.Value.String() })
+		t.Cleanup(func() {
+			for name, v := range saved {
+				a.Flags.Set(name, v)
+			}
+		})
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, err := lint.FindModule(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func runMain(t *testing.T, args ...string) (exit int, stdout, stderr string) {
+	t.Helper()
+	snapshotFlags(t)
+	var out, errb bytes.Buffer
+	code := lint.Main(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestGoldenJSON pins the full -json output for a package violating each
+// analyzer exactly once. Regenerate testdata/golden.json by running
+//
+//	go run ./cmd/sdcvet -json <ungate flags> repro/internal/lint/testdata/src/sample
+//
+// from the module root and reviewing the diff.
+func TestGoldenJSON(t *testing.T) {
+	args := append([]string{"-json", "-dir", moduleRoot(t)}, ungate...)
+	args = append(args, "repro/internal/lint/testdata/src/sample")
+	exit, stdout, stderr := runMain(t, args...)
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1 (findings present); stderr: %s", exit, stderr)
+	}
+	goldenPath := filepath.Join("testdata", "golden.json")
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(golden) {
+		t.Errorf("-json output diverges from %s:\ngot:\n%s\nwant:\n%s", goldenPath, stdout, golden)
+	}
+}
+
+// TestExemptionRoundTrip verifies the escape-hatch contract end to end:
+// the identically violating package with justified //lint:allow
+// directives exits clean with an empty findings array.
+func TestExemptionRoundTrip(t *testing.T) {
+	args := append([]string{"-json", "-dir", moduleRoot(t)}, ungate...)
+	args = append(args, "repro/internal/lint/testdata/src/sampleallow")
+	exit, stdout, stderr := runMain(t, args...)
+	if exit != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", exit, stdout, stderr)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("stdout = %q, want empty findings array", stdout)
+	}
+}
+
+// TestDisableFlag verifies per-analyzer enable/disable: with -floatcmp=false
+// the float comparison finding disappears while the others remain.
+func TestDisableFlag(t *testing.T) {
+	args := append([]string{"-floatcmp=false", "-dir", moduleRoot(t)}, ungate...)
+	args = append(args, "repro/internal/lint/testdata/src/sample")
+	exit, stdout, _ := runMain(t, args...)
+	if exit != 1 {
+		t.Fatalf("exit = %d, want 1 (other analyzers still fire)", exit)
+	}
+	if strings.Contains(stdout, "(floatcmp)") {
+		t.Errorf("floatcmp finding reported despite -floatcmp=false:\n%s", stdout)
+	}
+	for _, want := range []string{"(detrange)", "(satarith)", "(seedflow)", "(walltime)"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("missing %s finding:\n%s", want, stdout)
+		}
+	}
+}

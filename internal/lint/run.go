@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Diag is one reported finding, position-resolved for output.
+type Diag struct {
+	Analyzer string
+	Pos      token.Position
+	End      token.Position
+	Message  string
+}
+
+// unit is one analyzable package body: either the (test-augmented) package
+// itself or its external foo_test package.
+type unit struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// Run applies the analyzers (and, transitively, everything they require)
+// to the loaded package and returns the diagnostics in deterministic
+// order. Both the augmented package and its external test package are
+// analyzed.
+func (l *Loader) Run(p *Pkg, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var diags []Diag
+	units := []unit{{path: p.Path, files: p.Files, pkg: p.Types, info: p.Info}}
+	if p.XTypes != nil {
+		units = append(units, unit{path: p.Path + "_test", files: p.XFiles, pkg: p.XTypes, info: p.XInfo})
+	}
+	for _, u := range units {
+		results := make(map[*analysis.Analyzer]interface{})
+		for _, a := range analyzers {
+			if err := l.runOne(a, u, results, &diags); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+func (l *Loader) runOne(a *analysis.Analyzer, u unit, results map[*analysis.Analyzer]interface{}, diags *[]Diag) error {
+	if _, done := results[a]; done {
+		return nil
+	}
+	for _, req := range a.Requires {
+		if err := l.runOne(req, u, results, diags); err != nil {
+			return err
+		}
+	}
+	resultOf := make(map[*analysis.Analyzer]interface{}, len(a.Requires))
+	for _, req := range a.Requires {
+		resultOf[req] = results[req]
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       l.Fset,
+		Files:      u.files,
+		Pkg:        u.pkg,
+		TypesInfo:  u.info,
+		TypesSizes: types.SizesFor("gc", l.ctx.GOARCH),
+		Module:     &analysis.Module{Path: l.ModulePath},
+		ResultOf:   resultOf,
+		ReadFile:   os.ReadFile,
+		Report: func(d analysis.Diagnostic) {
+			*diags = append(*diags, Diag{
+				Analyzer: a.Name,
+				Pos:      l.Fset.Position(d.Pos),
+				End:      l.Fset.Position(d.End),
+				Message:  d.Message,
+			})
+		},
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return fmt.Errorf("lint: %s on %s: %v", a.Name, u.path, err)
+	}
+	results[a] = res
+	return nil
+}

@@ -1,0 +1,149 @@
+// Package satarith guards the audited counters: the fields of
+// harness.Rates and the telemetry instruments merge through saturating
+// arithmetic so a pathological campaign can never wrap a denominator
+// negative and silently flip a rate. That guarantee only holds if every
+// mutation goes through the types' own methods — a raw ++ or += on an
+// audited field from outside re-opens the overflow hole the saturating
+// methods closed.
+//
+// The analyzer flags ++, --, += and -= whose target is a field (or an
+// element of a field) of an audited type, unless the write happens inside
+// a method declared on that same type. Escape hatch:
+// `//lint:allow satarith -- reason`.
+package satarith
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/lint/directive"
+)
+
+const name = "satarith"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flags raw ++/+= on audited counter fields outside their saturating methods",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var audited = "repro/internal/harness.Rates,repro/internal/telemetry.Counter,repro/internal/telemetry.Gauge,repro/internal/telemetry.Histogram"
+
+func init() {
+	Analyzer.Flags.StringVar(&audited, "types", audited,
+		"comma-separated qualified names (pkgpath.Type) of audited counter types")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	auditedSet := make(map[string]bool)
+	for _, t := range strings.Split(audited, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			auditedSet[t] = true
+		}
+	}
+	if len(auditedSet) == 0 {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allows := directive.Collect(pass, name)
+
+	ins.WithStack([]ast.Node{(*ast.IncDecStmt)(nil), (*ast.AssignStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		var targets []ast.Expr
+		var op string
+		switch s := n.(type) {
+		case *ast.IncDecStmt:
+			targets, op = []ast.Expr{s.X}, s.Tok.String()
+		case *ast.AssignStmt:
+			if s.Tok != token.ADD_ASSIGN && s.Tok != token.SUB_ASSIGN {
+				return true
+			}
+			targets, op = s.Lhs, s.Tok.String()
+		}
+		for _, lhs := range targets {
+			owner := auditedOwner(pass, lhs, auditedSet)
+			if owner == nil {
+				continue
+			}
+			if m := enclosingMethodRecv(pass, stack); m != nil && m == owner {
+				continue // the type's own (saturating) methods may touch fields
+			}
+			if allows.Allowed(n.Pos()) {
+				continue
+			}
+			pass.ReportRangef(lhs, "raw %s on audited counter field of %s outside its methods: counters must mutate through the type's saturating methods so merges cannot wrap", op, owner.Obj().Name())
+		}
+		return true
+	})
+
+	allows.ReportUnused()
+	return nil, nil
+}
+
+// auditedOwner returns the audited named struct type owning the field that
+// lhs writes (unwrapping index expressions so h.counts[i] resolves to
+// Histogram), or nil.
+func auditedOwner(pass *analysis.Pass, lhs ast.Expr, auditedSet map[string]bool) *types.Named {
+	for {
+		switch x := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = x.X
+			continue
+		case *ast.IndexExpr:
+			lhs = x.X
+			continue
+		case *ast.SelectorExpr:
+			selInfo, ok := pass.TypesInfo.Selections[x]
+			if !ok || selInfo.Kind() != types.FieldVal {
+				return nil
+			}
+			named := namedOf(selInfo.Recv())
+			if named == nil || named.Obj().Pkg() == nil {
+				return nil
+			}
+			if auditedSet[named.Obj().Pkg().Path()+"."+named.Obj().Name()] {
+				return named
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosingMethodRecv returns the named receiver type of the innermost
+// enclosing method declaration, or nil for plain functions.
+func enclosingMethodRecv(pass *analysis.Pass, stack []ast.Node) *types.Named {
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			return nil
+		}
+		t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+		return namedOf(t)
+	}
+	return nil
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

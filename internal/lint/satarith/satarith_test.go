@@ -1,0 +1,13 @@
+package satarith_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/satarith"
+)
+
+func TestSatarith(t *testing.T) {
+	linttest.SetFlags(t, satarith.Analyzer, map[string]string{"types": "a.Rates"})
+	linttest.Run(t, "testdata/src/a", "a", satarith.Analyzer)
+}

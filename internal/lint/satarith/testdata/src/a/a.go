@@ -1,0 +1,44 @@
+// Package a exercises satarith: raw arithmetic on audited counter fields
+// outside the owning type's methods.
+package a
+
+// Rates mirrors the audited harness type: all mutation is supposed to go
+// through its methods.
+type Rates struct {
+	Clean  int
+	Counts []int64
+}
+
+func (r *Rates) Tally() {
+	r.Clean++ // the type's own methods may touch fields
+}
+
+func (r *Rates) Merge(o *Rates) {
+	r.Clean += o.Clean
+	for i, c := range o.Counts {
+		r.Counts[i] += c
+	}
+}
+
+func external(r *Rates) {
+	r.Clean++     // want `raw \+\+ on audited counter field`
+	r.Clean += 2  // want `raw \+= on audited counter field`
+	r.Counts[0]++ // want `raw \+\+ on audited counter field`
+}
+
+type unaudited struct{ n int }
+
+func freeRange(o *unaudited) {
+	o.n++
+}
+
+func localsAreFine(r *Rates) int {
+	n := r.Clean
+	n++
+	return n
+}
+
+func excused(r *Rates) {
+	//lint:allow satarith -- fixture seeds a known state without the methods
+	r.Clean++
+}

@@ -1,0 +1,105 @@
+// Package seedflow enforces the repo's seed discipline: every random
+// stream must provably descend from the campaign's split replica seeds.
+// Two shapes break that lineage:
+//
+//  1. Constructing a math/rand or math/rand/v2 generator anywhere outside
+//     internal/xrand. The campaigns' determinism story (splittable
+//     SplitMix64/xoshiro streams, per-replica substreams) lives in xrand;
+//     a rand.New elsewhere starts an unrelated stream the replay
+//     machinery cannot see.
+//
+//  2. Seeding xrand.New with a literal inside library code. A hardcoded
+//     seed severs the stream from the replica-seed tree; literals are
+//     only legitimate at entry points (package main) and in tests, which
+//     pin seeds on purpose.
+//
+// _test.go files are skipped by default (-seedflow.tests=true to include
+// them): property tests deliberately pin independent generators.
+package seedflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/lint/directive"
+	"repro/internal/lint/lintutil"
+)
+
+const name = "seedflow"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flags RNG construction outside internal/xrand and literal seeds in library code",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var (
+	home      = "internal/xrand"
+	xrandPath = "repro/internal/xrand"
+	testFiles = false
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&home, "home", home,
+		"package path suffix where RNG construction is legitimate")
+	Analyzer.Flags.StringVar(&xrandPath, "xrand", xrandPath,
+		"import path of the blessed generator package whose New must not take literal seeds in libraries")
+	Analyzer.Flags.BoolVar(&testFiles, "tests", testFiles,
+		"also check _test.go files (off by default: property tests pin seeds on purpose)")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if lintutil.PkgMatches(pass, home) && home != "" {
+		return nil, nil // inside the blessed package
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allows := directive.Collect(pass, name)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !testFiles && lintutil.InTestFile(pass, call.Pos()) {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			switch fn.Name() {
+			case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+				if allows.Allowed(call.Pos()) {
+					return
+				}
+				pass.ReportRangef(call, "RNG constructed outside %s: %s.%s starts a stream the split-replica-seed replay cannot reach — derive it from an xrand split instead", home, fn.Pkg().Path(), fn.Name())
+			}
+		case xrandPath:
+			if fn.Name() != "New" || pass.Pkg.Name() == "main" {
+				return
+			}
+			if len(call.Args) == 1 && isConst(pass, call.Args[0]) {
+				if allows.Allowed(call.Pos()) {
+					return
+				}
+				pass.ReportRangef(call, "literal seed in library code: xrand.New(%s) severs this stream from the replica-seed tree — accept a seed or *xrand.RNG from the caller", types.ExprString(call.Args[0]))
+			}
+		}
+	})
+
+	allows.ReportUnused()
+	return nil, nil
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,16 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", "a", seedflow.Analyzer)
+}
+
+func TestSeedflowAllowsLiteralSeedsInMain(t *testing.T) {
+	linttest.Run(t, "testdata/src/mainpkg", "mainpkg", seedflow.Analyzer)
+}

@@ -1,0 +1,35 @@
+// Package a exercises seedflow: RNG construction outside internal/xrand
+// and literal seeds in library code.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+
+	"repro/internal/xrand"
+)
+
+func newStream() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `RNG constructed outside` `RNG constructed outside`
+}
+
+func newV2() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(1, 2)) // want `RNG constructed outside` `RNG constructed outside`
+}
+
+func literalSeed() *xrand.RNG {
+	return xrand.New(7) // want `literal seed in library code`
+}
+
+func derivedIsFine(parent *xrand.RNG) *xrand.RNG {
+	return parent.Split(3)
+}
+
+func callerSeedIsFine(seed uint64) *xrand.RNG {
+	return xrand.New(seed)
+}
+
+func excused() *rand.Rand {
+	//lint:allow seedflow -- compatibility shim for the stdlib shuffle API
+	return rand.New(rand.NewSource(1))
+}

@@ -1,0 +1,10 @@
+// Command mainpkg pins a literal seed at the entry point, which seedflow
+// permits: package main is where seeds legitimately originate (no want
+// comments: any diagnostic fails the test).
+package main
+
+import "repro/internal/xrand"
+
+func main() {
+	_ = xrand.New(42)
+}

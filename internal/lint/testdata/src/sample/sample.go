@@ -1,0 +1,36 @@
+// Package sample violates each sdcvet analyzer exactly once, in a fixed
+// order, for cmd/sdcvet's golden-output test.
+package sample
+
+import (
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Rates is named by -satarith.types in the golden test.
+type Rates struct{ Clean int }
+
+func exactCompare(a, b float64) bool {
+	return a == b // floatcmp
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // detrange
+	}
+	return keys
+}
+
+func rawIncrement(r *Rates) {
+	r.Clean++ // satarith
+}
+
+func privateStream() *xrand.RNG {
+	return xrand.New(7) // seedflow
+}
+
+func stamp() time.Time {
+	return time.Now() // walltime
+}

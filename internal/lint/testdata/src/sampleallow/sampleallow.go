@@ -1,0 +1,41 @@
+// Package sampleallow carries the same five violations as package sample,
+// each silenced by a justified //lint:allow directive — the exemption half
+// of cmd/sdcvet's round-trip test, which must exit clean.
+package sampleallow
+
+import (
+	"time"
+
+	"repro/internal/xrand"
+)
+
+type Rates struct{ Clean int }
+
+func exactCompare(a, b float64) bool {
+	//lint:allow floatcmp -- golden fixture: bitwise comparison on purpose
+	return a == b
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:allow detrange -- golden fixture: result order is irrelevant
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func rawIncrement(r *Rates) {
+	//lint:allow satarith -- golden fixture: seeding a known state
+	r.Clean++
+}
+
+func privateStream() *xrand.RNG {
+	//lint:allow seedflow -- golden fixture: pinned stream for reproducible output
+	return xrand.New(7)
+}
+
+func stamp() time.Time {
+	//lint:allow walltime -- golden fixture: measured overhead only
+	return time.Now()
+}

@@ -1,0 +1,38 @@
+// Package a exercises walltime: ambient wall-clock and process-global
+// randomness, the validated escape hatch, and stale-hatch detection.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `wall-clock read time.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time.Since`
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `process-global rand.Float64`
+}
+
+func instanceIsFine(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+func durationsAreFine(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+func excused() time.Time {
+	//lint:allow walltime -- measured overhead metric, excluded from determinism comparisons
+	return time.Now()
+}
+
+func staleHatch(t0 time.Time) time.Time {
+	//lint:allow walltime -- nothing on the next line still needs this // want `unused //lint:allow walltime directive`
+	return t0
+}

@@ -1,0 +1,13 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	linttest.SetFlags(t, walltime.Analyzer, map[string]string{"pkgs": ""})
+	linttest.Run(t, "testdata/src/a", "a", walltime.Analyzer)
+}

@@ -53,7 +53,7 @@ func (in *Integrator) DenseRun(times []float64, out func(t float64, x la.Vec)) e
 		return fmt.Errorf("ode: DenseRun time %g before current time %g", times[idx], tPrev)
 	}
 	// Emit samples exactly at the start.
-	for idx < len(times) && times[idx] == tPrev {
+	for idx < len(times) && la.ExactEq(times[idx], tPrev) {
 		out(tPrev, xPrev)
 		idx++
 	}

@@ -1,6 +1,10 @@
 package ode
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/la"
+)
 
 // Tableau is an explicit embedded Runge-Kutta pair in Butcher form. The
 // propagated solution uses weights B (order Order); the embedded comparison
@@ -26,7 +30,7 @@ func (t *Tableau) Stages() int { return len(t.B) }
 // FixedIntegrator.
 func (t *Tableau) HasErrorEstimate() bool {
 	for i := range t.B {
-		if t.B[i] != t.BHat[i] {
+		if !la.ExactEq(t.B[i], t.BHat[i]) {
 			return true
 		}
 	}

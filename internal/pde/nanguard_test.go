@@ -1,0 +1,44 @@
+package pde
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/weno"
+)
+
+// Regression for the `w > 0`-under-NaN hazard: a NaN wave speed fails
+// every ordered comparison, so the corrupted cell used to be skipped and
+// MaxDt kept its huge initial value — the least stable possible answer.
+// A corrupted state must yield dt = 0 (no stable step).
+func TestMaxDtNaNStateRejects(t *testing.T) {
+	s, x0 := newBubbleSystem(8, weno.Weno5{})
+	if dt := s.MaxDt(x0, 0.5); !(dt > 0) || math.IsInf(dt, 0) {
+		t.Fatalf("clean state MaxDt = %g, want finite positive", dt)
+	}
+	x0[len(x0)/2] = math.NaN()
+	if dt := s.MaxDt(x0, 0.5); dt != 0 {
+		t.Fatalf("corrupted state MaxDt = %g, want 0 (no stable step)", dt)
+	}
+}
+
+// LocalMaxWave feeds the global alpha reduction of the distributed solver;
+// silently dropping a NaN cell would underestimate alpha and destabilize
+// the flux splitting invisibly. The NaN must poison its axis instead.
+func TestLocalMaxWaveNaNPoisonsAxis(t *testing.T) {
+	s, x0 := newBubbleSystem(8, weno.Weno5{})
+	for _, w := range s.LocalMaxWave(x0) {
+		if math.IsNaN(w) {
+			t.Fatal("clean state produced a NaN wave speed")
+		}
+	}
+	x0[len(x0)/2] = math.NaN()
+	out := s.LocalMaxWave(x0)
+	poisoned := false
+	for _, w := range out {
+		poisoned = poisoned || math.IsNaN(w)
+	}
+	if !poisoned {
+		t.Fatalf("NaN cell silently dropped from LocalMaxWave: %v", out)
+	}
+}

@@ -8,6 +8,7 @@ package pde
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/euler"
 	"repro/internal/grid"
@@ -291,7 +292,16 @@ func (s *EulerSystem) LocalMaxWave(x la.Vec) [3]float64 {
 		}
 		pt := s.Gas.Unpack(q[:s.nvar], s.d, s.bg[0][idx], s.bg[1][idx], s.bg[2][idx])
 		for ai, ax := range s.axes {
-			if w := s.Gas.MaxWave(pt, ai); w > out[ax] {
+			w := s.Gas.MaxWave(pt, ai)
+			if math.IsNaN(w) {
+				// `w > out` is false for a NaN wave speed, which would
+				// silently drop the corrupted cell and underestimate the
+				// global alpha; poison the axis instead so the reduction
+				// surfaces the corruption.
+				out[ax] = math.NaN()
+				continue
+			}
+			if w > out[ax] {
 				out[ax] = w
 			}
 		}
@@ -299,7 +309,8 @@ func (s *EulerSystem) LocalMaxWave(x la.Vec) [3]float64 {
 	return out
 }
 
-// MaxDt returns the CFL-stable step size for the state x.
+// MaxDt returns the CFL-stable step size for the state x, or 0 when the
+// state is corrupted (a NaN wave speed): no step is stable then.
 func (s *EulerSystem) MaxDt(x la.Vec, cfl float64) float64 {
 	var q [5]float64
 	dt := 1e300
@@ -309,7 +320,14 @@ func (s *EulerSystem) MaxDt(x la.Vec, cfl float64) float64 {
 		}
 		pt := s.Gas.Unpack(q[:s.nvar], s.d, s.bg[0][idx], s.bg[1][idx], s.bg[2][idx])
 		for ai, ax := range s.axes {
-			if w := s.Gas.MaxWave(pt, ai); w > 0 {
+			w := s.Gas.MaxWave(pt, ai)
+			if math.IsNaN(w) {
+				// A NaN wave speed fails `w > 0` and would be skipped,
+				// leaving dt at its huge initial value — the opposite of
+				// stable. A corrupted state has no stable step.
+				return 0
+			}
+			if w > 0 {
 				if d := cfl * s.Grid.Dx[ax] / w; d < dt {
 					dt = d
 				}

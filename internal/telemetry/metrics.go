@@ -9,15 +9,25 @@ import (
 type Counter struct{ v int64 }
 
 // Add increases the counter by d (negative d is clamped to zero so a
-// counter can never go backwards).
+// counter can never go backwards, and the sum saturates at MaxInt64 so a
+// pathological merge can never wrap it negative).
 func (c *Counter) Add(d int64) {
 	if d > 0 {
-		c.v += d
+		c.v = satAdd64(c.v, d)
 	}
 }
 
 // Inc increases the counter by one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.Add(1) }
+
+// satAdd64 returns a+b clamped to the int64 range instead of wrapping.
+// Both operands are non-negative everywhere this is called.
+func satAdd64(a, b int64) int64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return math.MaxInt64
+}
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v }
@@ -61,6 +71,7 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.sum += v
 	i := sort.SearchFloat64s(h.edges, v)
+	//lint:allow floatcmp -- edges are exact bin boundaries; v landing on one deliberately promotes it to the bucket above
 	if i < len(h.edges) && h.edges[i] == v {
 		i++ // v on an edge belongs to the bucket above it
 	}
@@ -160,13 +171,19 @@ func (m *Metrics) Merge(other *Metrics) {
 	}
 	for _, name := range sortedKeys(other.hists) {
 		oh := other.hists[name]
-		h := m.Histogram(name, oh.edges)
-		h.n += oh.n
-		h.sum += oh.sum
-		if len(h.counts) == len(oh.counts) {
-			for i, c := range oh.counts {
-				h.counts[i] += c
-			}
+		m.Histogram(name, oh.edges).merge(oh)
+	}
+}
+
+// merge folds other's observations into h through saturating adds.
+// Mismatched bucket layouts merge count and sum only, so the totals stay
+// conserved even when edges differ.
+func (h *Histogram) merge(other *Histogram) {
+	h.n = satAdd64(h.n, other.n)
+	h.sum += other.sum
+	if len(h.counts) == len(other.counts) {
+		for i, c := range other.counts {
+			h.counts[i] = satAdd64(h.counts[i], c)
 		}
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"repro/internal/la"
 )
 
 // Field is a row-major 2-D scalar field (row 0 at the bottom, matching the
@@ -47,9 +49,9 @@ func (f *Field) Range() (lo, hi float64) {
 // ASCII writes a shaded rendering (top row first) using ten gray levels
 // over [lo, hi]. Pass lo == hi to auto-scale.
 func (f *Field) ASCII(w io.Writer, lo, hi float64) {
-	if lo == hi {
+	if la.ExactEq(lo, hi) {
 		lo, hi = f.Range()
-		if lo == hi {
+		if la.ExactEq(lo, hi) {
 			hi = lo + 1
 		}
 	}
@@ -75,9 +77,9 @@ func (f *Field) ASCII(w io.Writer, lo, hi float64) {
 // over [lo, hi] (auto-scale when equal). PGM is stdlib-free and opens in
 // any image viewer, so Figure 2's panels can be inspected directly.
 func (f *Field) PGM(w io.Writer, lo, hi float64) error {
-	if lo == hi {
+	if la.ExactEq(lo, hi) {
 		lo, hi = f.Range()
-		if lo == hi {
+		if la.ExactEq(lo, hi) {
 			hi = lo + 1
 		}
 	}
