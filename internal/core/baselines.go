@@ -148,6 +148,7 @@ type AID struct {
 	step     int
 	est      la.Vec
 	ones     la.Vec
+	lip      ode.LIPEstimator
 	lastDiff float64
 	haveLast bool
 	Stats    Stats
@@ -190,7 +191,7 @@ func (a *AID) extrapolate(dst la.Vec, hist *ode.History, method int, t float64) 
 	if hist.Len() < method+1 {
 		return false
 	}
-	ode.LIPEstimate(dst, hist, method, t)
+	a.lip.Estimate(dst, hist, method, t)
 	return true
 }
 
@@ -287,6 +288,7 @@ type HotRode struct {
 	fpCount  int // detected false positives inflate the threshold as (1+eta)
 	est      la.Vec
 	diff     la.Vec
+	lip      ode.LIPEstimator
 	lastS    float64
 	haveLast bool
 	Stats    Stats
@@ -314,7 +316,7 @@ func (h *HotRode) ValidateFixed(c *ode.FixedCheckContext) bool {
 		h.diff = la.NewVec(len(c.XProp))
 	}
 	// Second error estimate: linear extrapolation residual.
-	ode.LIPEstimate(h.est, c.Hist, 1, c.T+c.H)
+	h.lip.Estimate(h.est, c.Hist, 1, c.T+c.H)
 	h.diff.CopyFrom(c.XProp)
 	h.diff.Sub(h.est)
 	// Surrogate: the vector difference of the two error estimates,

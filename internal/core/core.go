@@ -54,8 +54,13 @@ type Strategy interface {
 // The paper prints closed forms for orders 0-2 but caps the order
 // adaptation at q_max = 3 (§V-C); the general Lagrange weights support any
 // order, so the default follows the paper's constant.
+//
+// The strategy carries its estimator workspace, so Estimate requires a
+// pointer receiver and steady-state checks allocate nothing.
 type LIP struct {
 	QMax int // 0 means the paper's default q_max = 3
+
+	est ode.LIPEstimator
 }
 
 // Name implements Strategy.
@@ -79,8 +84,8 @@ func (s LIP) EffectiveOrder(c *ode.CheckContext, q int) int {
 }
 
 // Estimate implements Strategy.
-func (LIP) Estimate(dst la.Vec, c *ode.CheckContext, q int) {
-	ode.LIPEstimate(dst, c.Hist, q, c.T+c.H)
+func (s *LIP) Estimate(dst la.Vec, c *ode.CheckContext, q int) {
+	s.est.Estimate(dst, c.Hist, q, c.T+c.H)
 }
 
 // ExtraVectors implements Strategy: order q interpolates q+1 previous
@@ -89,9 +94,12 @@ func (LIP) ExtraVectors(q int) int { return q }
 
 // BDF is the variable-step backward-differentiation-formula strategy
 // (orders 1..QMax). It consumes f(x_n), which FSAL pairs provide for free
-// and which other pairs reuse as the next step's first stage.
+// and which other pairs reuse as the next step's first stage. Like LIP, it
+// carries its estimator workspace so checks allocate nothing.
 type BDF struct {
 	QMax int // 0 means the default of 3, the paper's stability-safe cap
+
+	est ode.BDFEstimator
 }
 
 // Name implements Strategy.
@@ -119,8 +127,8 @@ func (s BDF) EffectiveOrder(c *ode.CheckContext, q int) int {
 }
 
 // Estimate implements Strategy.
-func (BDF) Estimate(dst la.Vec, c *ode.CheckContext, q int) {
-	ode.BDFEstimate(dst, c.Hist, q, c.T+c.H, c.FProp())
+func (s *BDF) Estimate(dst la.Vec, c *ode.CheckContext, q int) {
+	s.est.Estimate(dst, c.Hist, q, c.T+c.H, c.FProp())
 }
 
 // ExtraVectors implements Strategy: order q uses q previous solutions
@@ -186,10 +194,10 @@ func NewDoubleCheck(strat Strategy) *DoubleCheck {
 }
 
 // NewLBDC returns the LIP-based double-checking with default settings.
-func NewLBDC() *DoubleCheck { return NewDoubleCheck(LIP{}) }
+func NewLBDC() *DoubleCheck { return NewDoubleCheck(&LIP{}) }
 
 // NewIBDC returns the integration-based double-checking with defaults.
-func NewIBDC() *DoubleCheck { return NewDoubleCheck(BDF{}) }
+func NewIBDC() *DoubleCheck { return NewDoubleCheck(&BDF{}) }
 
 func (d *DoubleCheck) init() {
 	if d.inited {
@@ -294,6 +302,7 @@ func (d *DoubleCheck) Validate(c *ode.CheckContext) ode.Verdict {
 	d.Stats.OrderSum += q
 
 	if d.est == nil {
+		//lint:allow allocfree -- one-time scratch: sized on the first check, reused forever after
 		d.est = la.NewVec(len(c.XProp))
 	}
 	d.Strat.Estimate(d.est, c, q)

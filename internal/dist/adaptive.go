@@ -106,6 +106,7 @@ func RunAdaptiveBurgers(cfg AdaptiveConfig) (*AdaptiveResult, error) {
 		w := make(la.Vec, nl)
 		est := make(la.Vec, nl)
 		fProp := make(la.Vec, nl)
+		var bdf ode.BDFEstimator // per-rank workspace: steady-state steps allocate nothing
 		hist := ode.NewHistory(cfg.QMax+2, nl)
 		left := (rank + cfg.Ranks - 1) % cfg.Ranks
 		right := (rank + 1) % cfg.Ranks
@@ -201,7 +202,7 @@ func RunAdaptiveBurgers(cfg AdaptiveConfig) (*AdaptiveResult, error) {
 				// rescue, which accepts without re-running the check.
 				q := ode.MaxBDFOrder(hist, cfg.QMax)
 				rhs(prop, fProp)
-				ode.BDFEstimate(est, hist, q, t+h, fProp)
+				bdf.Estimate(est, hist, q, t+h, fProp)
 				if sErr2 := globalWRMS(diffInto(est, prop, est), w); detectorReject(sErr2) {
 					if rank == 0 {
 						res.RejDetector++

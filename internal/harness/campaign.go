@@ -9,7 +9,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/inject"
-	"repro/internal/la"
 	"repro/internal/ode"
 	"repro/internal/problems"
 	"repro/internal/stats"
@@ -335,8 +334,10 @@ type repOutcome struct {
 
 // runReplicate integrates the problem once under injection, with every
 // mutable resource (RNG substreams, right-hand side, integrator, detector,
-// shadow stepper, scratch vectors) owned exclusively by this call.
-func runReplicate(cfg *Config, job repJob) repOutcome {
+// shadow stepper, scratch vectors) owned exclusively by this call. The
+// heavy machinery lives in scr, a worker-owned arena recycled across the
+// worker's replicates (see repScratch).
+func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
 	var out repOutcome
 	//lint:allow walltime -- per-replicate wall time feeds the §VI-B overhead ratio, never the deterministic outputs
 	repStart := time.Now()
@@ -366,15 +367,24 @@ func runReplicate(cfg *Config, job repJob) repOutcome {
 		sel.Inner = cfg.Injector
 		hook = plan.HookFor(sel)
 	}
-	in := &ode.Integrator{
-		Tab:               cfg.Tab,
-		Ctrl:              ctrl,
-		Validator:         det.validator,
-		Hook:              hook,
-		NoReuseFirstStage: cfg.NoReuseFirstStage,
-		MaxSteps:          1 << 18,
-		MaxStep:           p.MaxStep,
-	}
+	// Reconfigure the arena's integrator from scratch: every exported field
+	// is assigned (optional hooks explicitly to nil) so nothing leaks from
+	// the previous replicate, while Init recycles the internal buffers.
+	in := scr.integrator()
+	in.Tab = cfg.Tab
+	in.Ctrl = ctrl
+	in.Validator = det.validator
+	in.Hook = hook
+	in.OnTrial = nil
+	in.Tracer = nil
+	in.StateHook = nil
+	in.MaxSteps = 1 << 18
+	in.MaxTrials = 0
+	in.MinStep = 0
+	in.MaxStep = p.MaxStep
+	in.HistoryDepth = 0
+	in.NoReuseFirstStage = cfg.NoReuseFirstStage
+	in.UsePI = false
 	if statePlan != nil {
 		in.StateHook = statePlan.StateHook
 	}
@@ -389,14 +399,14 @@ func runReplicate(cfg *Config, job repJob) repOutcome {
 		stepSizes = out.metrics.Histogram(MStepSize, telemetry.Log10Edges(-12, 2))
 	}
 
-	shadow := ode.NewStepper(cfg.Tab, sys) // clean reference, uncounted
-	cw := la.NewVec(sys.Dim())             // clean weights
-	xt := la.NewVec(sys.Dim())             // clean approximation solution
+	shadow := stepperFor(&scr.shadow, cfg.Tab, sys) // clean reference, uncounted
+	cw := vecFor(&scr.cw, sys.Dim())                // clean weights
+	xt := vecFor(&scr.xt, sys.Dim())                // clean approximation solution
 
 	if cfg.Detector == Oracle {
-		oxt := la.NewVec(sys.Dim())
-		ocw := la.NewVec(sys.Dim())
-		oshadow := ode.NewStepper(cfg.Tab, sys)
+		oxt := vecFor(&scr.oxt, sys.Dim())
+		ocw := vecFor(&scr.ocw, sys.Dim())
+		oshadow := stepperFor(&scr.oshadow, cfg.Tab, sys)
 		in.Validator = oracleValidator(func(c *ode.CheckContext) bool {
 			restore := plan.Pause()
 			clean := oshadow.Trial(c.T, c.H, c.XStored, nil, nil)

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/la"
+	"repro/internal/ode"
 	"repro/internal/xrand"
 )
 
@@ -58,11 +60,55 @@ func (m *merger) finish(res *Result) {
 	}
 }
 
+// repScratch is a worker-owned arena of the replicate machinery that is
+// expensive to rebuild per run: the integrator (whose Init reuses the stage
+// storage, history ring, and scratch vectors when shapes match), the clean
+// shadow steppers, and the significance-check vectors. Reuse changes no
+// campaign number — every buffer is fully overwritten before it is read —
+// and each scratch is owned by exactly one worker, so the engines stay
+// race-free and bitwise deterministic.
+type repScratch struct {
+	in               *ode.Integrator
+	shadow, oshadow  *ode.Stepper
+	cw, xt, oxt, ocw la.Vec
+}
+
+// integrator returns the arena's integrator, creating it on first use. The
+// caller reconfigures every exported field before Init.
+func (s *repScratch) integrator() *ode.Integrator {
+	if s.in == nil {
+		s.in = &ode.Integrator{}
+	}
+	return s.in
+}
+
+// stepperFor fills slot with a stepper for (tab, sys), recycling the stage
+// storage when the tableau is unchanged (Retarget recycles it again when the
+// dimension also matches).
+func stepperFor(slot **ode.Stepper, tab *ode.Tableau, sys ode.System) *ode.Stepper {
+	if *slot == nil || (*slot).Tab != tab {
+		*slot = ode.NewStepper(tab, sys)
+	} else {
+		(*slot).Retarget(sys)
+	}
+	return *slot
+}
+
+// vecFor fills slot with an m-vector, reusing the allocation when the
+// dimension is unchanged.
+func vecFor(slot *la.Vec, m int) la.Vec {
+	if len(*slot) != m {
+		*slot = la.NewVec(m)
+	}
+	return *slot
+}
+
 // runSerial is the reference engine: replicates execute one after another
 // until the stopping rule (Injections >= minInj, or maxRuns) fires.
 func runSerial(cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns int) error {
+	var scr repScratch
 	for rep := 0; rep < maxRuns && res.Rates.Injections < minInj; rep++ {
-		out := runReplicate(cfg, nextJob(cfg, root, rep))
+		out := runReplicate(cfg, nextJob(cfg, root, rep), &scr)
 		if out.err != nil {
 			return out.err
 		}
@@ -85,17 +131,22 @@ const waveFactor = 2
 // as the serial engine would never have run them.
 func runParallel(cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns, workers int) error {
 	wave := waveFactor * workers
+	// The scratch arenas and the wave buffers outlive the wave loop: each
+	// worker index keeps its arena across waves, so the integrator's stage
+	// storage and the shadow steppers are built once per campaign, not once
+	// per replicate.
+	scratch := make([]repScratch, workers)
+	jobs := make([]repJob, wave)
+	outs := make([]repOutcome, wave)
 	for next := 0; next < maxRuns && res.Rates.Injections < minInj; next += wave {
 		n := wave
 		if next+n > maxRuns {
 			n = maxRuns - next
 		}
-		jobs := make([]repJob, n)
-		for i := range jobs {
+		for i := 0; i < n; i++ {
 			jobs[i] = nextJob(cfg, root, next+i)
 		}
 
-		outs := make([]repOutcome, n)
 		idx := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -110,18 +161,18 @@ func runParallel(cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, m
 					"detector", string(cfg.Detector))
 				pprof.Do(context.Background(), labels, func(context.Context) {
 					for i := range idx {
-						outs[i] = runReplicate(cfg, jobs[i])
+						outs[i] = runReplicate(cfg, jobs[i], &scratch[w])
 					}
 				})
 			}(w)
 		}
-		for i := range jobs {
+		for i := 0; i < n; i++ {
 			idx <- i
 		}
 		close(idx)
 		wg.Wait()
 
-		for _, out := range outs {
+		for _, out := range outs[:n] {
 			if res.Rates.Injections >= minInj {
 				break // overshoot: the serial engine would have stopped here
 			}

@@ -50,6 +50,12 @@ type BDF struct {
 	scratch la.Vec
 	errVec  la.Vec
 	weights la.Vec
+	neg     la.Vec
+
+	// Per-step differentiation/prediction workspaces (orders are <= 2, so
+	// the slices are sized once in Init and never grow).
+	nodes, dw, dscratch []float64
+	lip                 ode.LIPEstimator
 
 	Stats Stats
 }
@@ -81,9 +87,12 @@ func (in *BDF) Init(sys ode.System, t0, tEnd float64, x0 la.Vec, h0 float64) {
 	m := sys.Dim()
 	in.hist = ode.NewHistory(8, m)
 	in.hist.Push(t0, 0, in.x)
-	for _, v := range []*la.Vec{&in.xProp, &in.pred, &in.rhs, &in.resid, &in.delta, &in.ftmp, &in.fbase, &in.scratch, &in.errVec, &in.weights} {
+	for _, v := range []*la.Vec{&in.xProp, &in.pred, &in.rhs, &in.resid, &in.delta, &in.ftmp, &in.fbase, &in.scratch, &in.errVec, &in.weights, &in.neg} {
 		*v = la.NewVec(m)
 	}
+	in.nodes = make([]float64, 3)
+	in.dw = make([]float64, 3)
+	in.dscratch = make([]float64, 3)
 	in.Stats = Stats{}
 }
 
@@ -125,7 +134,8 @@ func (in *BDF) solveImplicit(tn, d0 float64) error {
 		}
 		useDirect := in.Direct || (!in.NoDirect && m <= DirectMaxDim)
 		if useDirect {
-			neg := in.resid.Clone()
+			neg := in.neg
+			neg.CopyFrom(in.resid)
 			neg.Scale(-1)
 			if err := in.dsolver.solve(in.eval, tn, in.xProp, in.ftmp, d0, neg, in.delta); err != nil {
 				return err
@@ -150,7 +160,8 @@ func (in *BDF) solveImplicit(tn, d0 float64) error {
 			}
 		}
 		in.delta.Zero()
-		neg := in.resid.Clone()
+		neg := in.neg
+		neg.CopyFrom(in.resid)
 		neg.Scale(-1)
 		opts := in.KrylovOpts
 		if opts.Tol == 0 {
@@ -198,12 +209,13 @@ func (in *BDF) Step() error {
 		}
 
 		// Differentiation weights over {t_n, t_{n-1}, (t_{n-2})}.
-		nodes := make([]float64, order+1)
+		nodes := in.nodes[:order+1]
 		nodes[0] = tn
 		for k := 1; k <= order; k++ {
 			nodes[k] = in.hist.T(k - 1)
 		}
-		d := la.FirstDerivativeWeights(tn, nodes)
+		d := in.dw[:order+1]
+		la.FirstDerivativeWeightsInto(d, in.dscratch[:order+1], tn, nodes)
 		// rhs = -sum_{k>=1} d_k x_{n-k}
 		in.rhs.Zero()
 		for k := 1; k <= order; k++ {
@@ -213,7 +225,7 @@ func (in *BDF) Step() error {
 		// Predictor: polynomial extrapolation of the history (order+1
 		// points when available), which doubles as the error reference.
 		predOrder := ode.MaxLIPOrder(in.hist, order)
-		ode.LIPEstimate(in.pred, in.hist, predOrder, tn)
+		in.lip.Estimate(in.pred, in.hist, predOrder, tn)
 		in.xProp.CopyFrom(in.pred)
 
 		if err := in.solveImplicit(tn, d[0]); err != nil {

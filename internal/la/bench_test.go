@@ -51,3 +51,22 @@ func BenchmarkFornbergWeights(b *testing.B) {
 		_ = FirstDerivativeWeights(0.37, nodes)
 	}
 }
+
+func BenchmarkLagrangeWeightsInto(b *testing.B) {
+	nodes := []float64{0, 0.1, 0.25, 0.37}
+	dst := make([]float64, len(nodes))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LagrangeWeightsInto(dst, nodes, 0.5)
+	}
+}
+
+func BenchmarkFirstDerivativeWeightsInto(b *testing.B) {
+	nodes := []float64{0, 0.1, 0.25, 0.37}
+	dst := make([]float64, len(nodes))
+	scratch := make([]float64, len(nodes))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FirstDerivativeWeightsInto(dst, scratch, 0.37, nodes)
+	}
+}

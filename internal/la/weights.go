@@ -12,8 +12,20 @@ import "fmt"
 // variable step sizes; the paper's order-0/1/2 formulas (§V-A) are the
 // q+1 = 1, 2, 3 node instances of this.
 func LagrangeWeights(nodes []float64, t float64) []float64 {
+	w := make([]float64, len(nodes))
+	LagrangeWeightsInto(w, nodes, t)
+	return w
+}
+
+// LagrangeWeightsInto is the allocation-free form of LagrangeWeights: it
+// fills dst (len(dst) == len(nodes)) with the interpolation weights at t.
+// Steady-state double-checking calls this through a reused workspace
+// (ode.LIPEstimator) so accepted steps allocate nothing.
+func LagrangeWeightsInto(dst, nodes []float64, t float64) {
 	n := len(nodes)
-	w := make([]float64, n)
+	if len(dst) != n {
+		panic(fmt.Sprintf("la: LagrangeWeightsInto dst length %d != %d nodes", len(dst), n))
+	}
 	for k := 0; k < n; k++ {
 		lk := 1.0
 		for j := 0; j < n; j++ {
@@ -26,9 +38,8 @@ func LagrangeWeights(nodes []float64, t float64) []float64 {
 			}
 			lk *= (t - nodes[j]) / den
 		}
-		w[k] = lk
+		dst[k] = lk
 	}
-	return w
 }
 
 // FornbergWeights returns finite-difference weights for derivatives
@@ -94,4 +105,47 @@ func FornbergWeights(z float64, nodes []float64, maxDeriv int) [][]float64 {
 // first-derivative row of FornbergWeights.
 func FirstDerivativeWeights(z float64, nodes []float64) []float64 {
 	return FornbergWeights(z, nodes, 1)[1]
+}
+
+// FirstDerivativeWeightsInto is the allocation-free form of
+// FirstDerivativeWeights: it fills dst with the first-derivative weights at
+// z and uses scratch for the value-interpolation (zeroth-derivative) row of
+// Fornberg's recurrence. Both dst and scratch must have len(nodes). The
+// computed weights are bit-identical to FirstDerivativeWeights: the
+// floating-point operations are the maxDeriv = 1 instance of
+// FornbergWeights in the same order.
+func FirstDerivativeWeightsInto(dst, scratch []float64, z float64, nodes []float64) {
+	n := len(nodes)
+	if n < 2 {
+		panic(fmt.Sprintf("la: FirstDerivativeWeightsInto needs > 1 nodes, have %d", n))
+	}
+	if len(dst) != n || len(scratch) != n {
+		panic(fmt.Sprintf("la: FirstDerivativeWeightsInto buffer lengths (%d, %d) != %d nodes", len(dst), len(scratch), n))
+	}
+	c0, c1 := scratch, dst
+	for k := 0; k < n; k++ {
+		c0[k], c1[k] = 0, 0
+	}
+	w1 := 1.0
+	c4 := nodes[0] - z
+	c0[0] = 1.0
+	for i := 1; i < n; i++ {
+		w2 := 1.0
+		c5 := c4
+		c4 = nodes[i] - z
+		for j := 0; j < i; j++ {
+			c3 := nodes[i] - nodes[j]
+			if c3 == 0 {
+				panic("la: FornbergWeights repeated node")
+			}
+			w2 *= c3
+			if j == i-1 {
+				c1[i] = w1 * (c0[i-1] - c5*c1[i-1]) / w2
+				c0[i] = -w1 * c5 * c0[i-1] / w2
+			}
+			c1[j] = (c4*c1[j] - c0[j]) / c3
+			c0[j] = c4 * c0[j] / c3
+		}
+		w1 = w2
+	}
 }

@@ -211,3 +211,72 @@ func TestFornbergSecondDerivative(t *testing.T) {
 		t.Fatalf("0th-deriv weights = %v, want [0 1 0]", c[0])
 	}
 }
+
+func TestLagrangeWeightsIntoMatchesAllocatingForm(t *testing.T) {
+	nodes := []float64{0, 0.7, 1.5, 2.1}
+	want := LagrangeWeights(nodes, 3.3)
+	dst := make([]float64, len(nodes))
+	LagrangeWeightsInto(dst, nodes, 3.3)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("weight[%d] = %g, allocating form %g (must be bit-identical)", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestFirstDerivativeWeightsIntoMatchesAllocatingForm(t *testing.T) {
+	// Bit-identical agreement matters: the detector's false-positive
+	// self-detection compares scaled errors with ExactEq, so the Into form
+	// must perform the same floating-point operations in the same order.
+	cases := [][]float64{
+		{1.0, 0.3},
+		{4.0, 3.7, 3.2},
+		{2.0, 1.75, 1.35, 0.8},
+		{0.18, 0.11, 0.05, 0.0, -0.2},
+	}
+	for _, nodes := range cases {
+		z := nodes[0]
+		want := FirstDerivativeWeights(z, nodes)
+		dst := make([]float64, len(nodes))
+		scratch := make([]float64, len(nodes))
+		FirstDerivativeWeightsInto(dst, scratch, z, nodes)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("nodes %v: weight[%d] = %g, allocating form %g (must be bit-identical)", nodes, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWeightsIntoPanicsOnBadBuffers(t *testing.T) {
+	nodes := []float64{0, 1, 2}
+	for name, fn := range map[string]func(){
+		"lagrange short dst":   func() { LagrangeWeightsInto(make([]float64, 2), nodes, 3) },
+		"lagrange repeated":    func() { LagrangeWeightsInto(make([]float64, 2), []float64{1, 1}, 3) },
+		"fornberg short dst":   func() { FirstDerivativeWeightsInto(make([]float64, 2), make([]float64, 3), 0, nodes) },
+		"fornberg short aux":   func() { FirstDerivativeWeightsInto(make([]float64, 3), make([]float64, 2), 0, nodes) },
+		"fornberg single node": func() { FirstDerivativeWeightsInto(make([]float64, 1), make([]float64, 1), 0, []float64{1}) },
+		"fornberg repeated":    func() { FirstDerivativeWeightsInto(make([]float64, 2), make([]float64, 2), 0, []float64{1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWeightsIntoAllocationFree(t *testing.T) {
+	nodes := []float64{2.0, 1.75, 1.35, 0.8}
+	dst := make([]float64, len(nodes))
+	scratch := make([]float64, len(nodes))
+	if n := testing.AllocsPerRun(200, func() {
+		LagrangeWeightsInto(dst, nodes, 2.5)
+		FirstDerivativeWeightsInto(dst, scratch, nodes[0], nodes)
+	}); n != 0 {
+		t.Fatalf("Into weight kernels allocate %v times per call, want 0", n)
+	}
+}

@@ -1,0 +1,16 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/allocfree"
+	"repro/internal/lint/linttest"
+)
+
+func TestAllocfree(t *testing.T) {
+	linttest.SetFlags(t, allocfree.Analyzer, map[string]string{
+		"funcs":  "a.Hot,a.T.Hot,a.HotAlloc",
+		"allocs": "a.NewVec,a.Vec.Clone",
+	})
+	linttest.Run(t, "testdata/src/a", "a", allocfree.Analyzer)
+}

@@ -1,0 +1,40 @@
+// Package a exercises the allocfree analyzer: the test designates Hot,
+// T.Hot, and HotAlloc as hot-path functions and NewVec / Vec.Clone as
+// allocator calls.
+package a
+
+type Vec []float64
+
+func NewVec(n int) Vec { return make(Vec, n) } // not designated: constructors may allocate
+
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v)) // not designated
+	copy(out, v)
+	return out
+}
+
+type T struct{ buf []float64 }
+
+func Hot(n int) []float64 {
+	p := new(int) // want `new in allocation-free hot-path function Hot`
+	_ = p
+	return make([]float64, n) // want `make in allocation-free hot-path function Hot`
+}
+
+func (t *T) Hot(n int) {
+	if cap(t.buf) < n {
+		//lint:allow allocfree -- grow-once workspace: sized on first use, reused after
+		t.buf = make([]float64, n)
+	}
+	t.buf = t.buf[:n]
+}
+
+func HotAlloc(v Vec) Vec {
+	w := NewVec(3) // want `allocating call NewVec in allocation-free hot-path function HotAlloc`
+	_ = w
+	return v.Clone() // want `allocating call Vec.Clone in allocation-free hot-path function HotAlloc`
+}
+
+func Cold(n int) []float64 {
+	return make([]float64, n) // not designated: no finding
+}

@@ -12,6 +12,7 @@ import (
 
 	"golang.org/x/tools/go/analysis"
 
+	"repro/internal/lint/allocfree"
 	"repro/internal/lint/detrange"
 	"repro/internal/lint/floatcmp"
 	"repro/internal/lint/satarith"
@@ -22,6 +23,7 @@ import (
 // All returns the repo's analyzer suite in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		allocfree.Analyzer,
 		detrange.Analyzer,
 		floatcmp.Analyzer,
 		satarith.Analyzer,

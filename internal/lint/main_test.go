@@ -15,6 +15,7 @@ import (
 // analyzer's scope. Main applies them from argv exactly as a CI invocation
 // would.
 var ungate = []string{
+	"-allocfree.funcs=repro/internal/lint/testdata/src/sample.hotStep,repro/internal/lint/testdata/src/sampleallow.hotStep",
 	"-detrange.pkgs=",
 	"-walltime.pkgs=",
 	"-floatcmp.nanpkgs=",
@@ -108,7 +109,7 @@ func TestDisableFlag(t *testing.T) {
 	if strings.Contains(stdout, "(floatcmp)") {
 		t.Errorf("floatcmp finding reported despite -floatcmp=false:\n%s", stdout)
 	}
-	for _, want := range []string{"(detrange)", "(satarith)", "(seedflow)", "(walltime)"} {
+	for _, want := range []string{"(allocfree)", "(detrange)", "(satarith)", "(seedflow)", "(walltime)"} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("missing %s finding:\n%s", want, stdout)
 		}

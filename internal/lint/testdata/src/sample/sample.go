@@ -34,3 +34,8 @@ func privateStream() *xrand.RNG {
 func stamp() time.Time {
 	return time.Now() // walltime
 }
+
+// hotStep is named by -allocfree.funcs in the golden test.
+func hotStep(n int) []float64 {
+	return make([]float64, n) // allocfree
+}

@@ -39,3 +39,8 @@ func stamp() time.Time {
 	//lint:allow walltime -- golden fixture: measured overhead only
 	return time.Now()
 }
+
+func hotStep(n int) []float64 {
+	//lint:allow allocfree -- golden fixture: documented cold-start growth
+	return make([]float64, n)
+}

@@ -2,16 +2,34 @@ package ode
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/la"
 )
 
-// LIPEstimate fills dst with the order-q Lagrange-interpolating-polynomial
+// LIPEstimator carries the node and weight workspace of the
+// Lagrange-interpolating-polynomial estimate so steady-state double-checking
+// allocates nothing per step: the buffers grow once to the largest order
+// requested and are reused by every subsequent call. The zero value is ready
+// to use. An estimator is not safe for concurrent use; give each worker its
+// own.
+type LIPEstimator struct {
+	nodes, w []float64
+}
+
+// Estimate fills dst with the order-q Lagrange-interpolating-polynomial
 // extrapolation of the solution at time t from the q+1 most recent accepted
-// solutions in hist (§V-A). Order 0 is the last value; orders 1 and 2
-// reproduce the paper's closed-form variable-step expressions. It panics if
-// the history holds fewer than q+1 solutions.
-func LIPEstimate(dst la.Vec, hist *History, q int, t float64) {
+// solutions in hist (§V-A) and returns the order actually used. Order 0 is
+// the last value; orders 1 and 2 reproduce the paper's closed-form
+// variable-step expressions. It panics if the history holds fewer than q+1
+// solutions.
+//
+// Degenerate histories — step-size underflow can leave t_n == t_{n-1} in
+// float, and near-coincident nodes can overflow the barycentric products —
+// fall back to the largest order whose node set is pairwise distinct and
+// produces finite weights, down to order 0 (the last value), so a poisoned
+// ±Inf/NaN second estimate can never masquerade as a detector verdict.
+func (e *LIPEstimator) Estimate(dst la.Vec, hist *History, q int, t float64) int {
 	if q < 0 {
 		panic("ode: LIPEstimate negative order")
 	}
@@ -19,24 +37,42 @@ func LIPEstimate(dst la.Vec, hist *History, q int, t float64) {
 	if hist.Len() < need {
 		panic(fmt.Sprintf("ode: LIPEstimate order %d needs %d history entries, have %d", q, need, hist.Len()))
 	}
-	if q == 0 {
-		dst.CopyFrom(hist.X(0))
-		return
+	if cap(e.nodes) < need {
+		//lint:allow allocfree -- grow-once workspace: reused by every later call at this order or below
+		e.nodes = make([]float64, need)
+		//lint:allow allocfree -- grow-once workspace: reused by every later call at this order or below
+		e.w = make([]float64, need)
 	}
-	nodes := make([]float64, need)
+	nodes := e.nodes[:need]
 	for k := 0; k < need; k++ {
 		nodes[k] = hist.T(k)
 	}
-	w := la.LagrangeWeights(nodes, t)
-	dst.Zero()
-	for k := 0; k < need; k++ {
-		dst.AXPY(w[k], hist.X(k))
+	for qEff := distinctPrefix(nodes) - 1; qEff >= 1; qEff-- {
+		w := e.w[:qEff+1]
+		la.LagrangeWeightsInto(w, nodes[:qEff+1], t)
+		if !finiteAll(w) {
+			continue
+		}
+		dst.Zero()
+		for k := 0; k <= qEff; k++ {
+			dst.AXPY(w[k], hist.X(k))
+		}
+		return qEff
 	}
+	dst.CopyFrom(hist.X(0))
+	return 0
 }
 
-// BDFEstimate fills dst with the order-q variable-step backward
-// differentiation formula prediction of the solution at time t (§V-B):
-// the value x~ satisfying
+// BDFEstimator carries the node and differentiation-weight workspace of the
+// variable-step BDF estimate; like LIPEstimator, the zero value is ready and
+// steady-state calls allocate nothing.
+type BDFEstimator struct {
+	nodes, d, scratch []float64
+}
+
+// Estimate fills dst with the order-q variable-step backward differentiation
+// formula prediction of the solution at time t (§V-B) and returns the order
+// actually used: the value x~ satisfying
 //
 //	sum_k d_k x_{t_k} = f(t, x_n)
 //
@@ -45,25 +81,90 @@ func LIPEstimate(dst la.Vec, hist *History, q int, t float64) {
 // solver's proposed solution (reused from FSAL stages when available, so
 // the estimate costs no extra evaluation on accepted steps). It panics if
 // the history holds fewer than q solutions.
-func BDFEstimate(dst la.Vec, hist *History, q int, t float64, f la.Vec) {
+//
+// Degenerate node sets (coincident times from step-size underflow, or
+// weights that overflow/vanish) fall back to the largest order with pairwise
+// distinct nodes, finite weights, and a nonzero leading weight d_0; when not
+// even order 1 is sound, the estimate degrades to the last accepted value
+// and 0 is returned.
+func (e *BDFEstimator) Estimate(dst la.Vec, hist *History, q int, t float64, f la.Vec) int {
 	if q < 1 {
 		panic("ode: BDFEstimate order must be >= 1")
 	}
 	if hist.Len() < q {
 		panic(fmt.Sprintf("ode: BDFEstimate order %d needs %d history entries, have %d", q, q, hist.Len()))
 	}
-	nodes := make([]float64, q+1)
+	need := q + 1
+	if cap(e.nodes) < need {
+		//lint:allow allocfree -- grow-once workspace: reused by every later call at this order or below
+		e.nodes = make([]float64, need)
+		//lint:allow allocfree -- grow-once workspace: reused by every later call at this order or below
+		e.d = make([]float64, need)
+		//lint:allow allocfree -- grow-once workspace: reused by every later call at this order or below
+		e.scratch = make([]float64, need)
+	}
+	nodes := e.nodes[:need]
 	nodes[0] = t
 	for k := 1; k <= q; k++ {
 		nodes[k] = hist.T(k - 1)
 	}
-	d := la.FirstDerivativeWeights(t, nodes)
-	// dst = (f - sum_{k>=1} d_k x_{n-k}) / d_0
-	dst.CopyFrom(f)
-	for k := 1; k <= q; k++ {
-		dst.AXPY(-d[k], hist.X(k-1))
+	for qEff := distinctPrefix(nodes) - 1; qEff >= 1; qEff-- {
+		d := e.d[:qEff+1]
+		la.FirstDerivativeWeightsInto(d, e.scratch[:qEff+1], t, nodes[:qEff+1])
+		if !finiteAll(d) || d[0] == 0 {
+			continue
+		}
+		// dst = (f - sum_{k>=1} d_k x_{n-k}) / d_0
+		dst.CopyFrom(f)
+		for k := 1; k <= qEff; k++ {
+			dst.AXPY(-d[k], hist.X(k-1))
+		}
+		dst.Scale(1 / d[0])
+		return qEff
 	}
-	dst.Scale(1 / d[0])
+	dst.CopyFrom(hist.X(0))
+	return 0
+}
+
+// distinctPrefix returns the length of the longest prefix of nodes whose
+// entries are pairwise distinct — the usable node count once step-size
+// underflow has collapsed neighbouring history times onto the same float.
+func distinctPrefix(nodes []float64) int {
+	for k := 1; k < len(nodes); k++ {
+		for j := 0; j < k; j++ {
+			//lint:allow floatcmp -- bitwise coincidence is the degeneracy being detected: only exactly equal nodes make the weights divide by zero
+			if nodes[k] == nodes[j] {
+				return k
+			}
+		}
+	}
+	return len(nodes)
+}
+
+// finiteAll reports whether every weight is finite: near-coincident nodes
+// divide by subnormals and overflow to ±Inf without ever tripping the
+// repeated-node panic.
+func finiteAll(w []float64) bool {
+	for _, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// LIPEstimate is the convenience (allocating) form of LIPEstimator.Estimate
+// for callers outside the per-step hot path.
+func LIPEstimate(dst la.Vec, hist *History, q int, t float64) {
+	var e LIPEstimator
+	e.Estimate(dst, hist, q, t)
+}
+
+// BDFEstimate is the convenience (allocating) form of BDFEstimator.Estimate
+// for callers outside the per-step hot path.
+func BDFEstimate(dst la.Vec, hist *History, q int, t float64, f la.Vec) {
+	var e BDFEstimator
+	e.Estimate(dst, hist, q, t, f)
 }
 
 // MaxLIPOrder returns the largest LIP order supported by the current history

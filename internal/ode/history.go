@@ -1,6 +1,10 @@
 package ode
 
-import "repro/internal/la"
+import (
+	"fmt"
+
+	"repro/internal/la"
+)
 
 // History is a ring buffer of recently accepted solutions
 // (t_{n-k}, h_{n-k}, x_{n-k}), newest first. The double-checking estimates
@@ -16,8 +20,16 @@ type History struct {
 }
 
 // NewHistory returns a ring holding up to depth accepted solutions of
-// dimension m.
+// dimension m. It panics unless depth >= 1 and m >= 0: a zero-depth ring
+// has no slot for Push's modular head advance (formerly an opaque
+// integer-divide-by-zero panic at the first Push).
 func NewHistory(depth, m int) *History {
+	if depth < 1 {
+		panic(fmt.Sprintf("ode: NewHistory depth must be >= 1, got %d", depth))
+	}
+	if m < 0 {
+		panic(fmt.Sprintf("ode: NewHistory dimension must be >= 0, got %d", m))
+	}
 	h := &History{depth: depth}
 	h.ts = make([]float64, depth)
 	h.hs = make([]float64, depth)
@@ -45,6 +57,9 @@ func (h *History) Len() int { return h.n }
 
 // Depth returns the ring capacity.
 func (h *History) Depth() int { return h.depth }
+
+// Dim returns the dimension of the stored solutions.
+func (h *History) Dim() int { return len(h.xs[0]) }
 
 // T returns the time of the k-th newest entry (k = 0 is the most recent).
 func (h *History) T(k int) float64 { return h.ts[h.idx(k)] }

@@ -86,3 +86,35 @@ func TestHistoryTimes(t *testing.T) {
 		t.Fatalf("Times = %v", ts)
 	}
 }
+
+// Regression: NewHistory(0, m) built an empty ring whose first Push crashed
+// with an integer divide by zero; the constructor now rejects bad shapes
+// with a clear message.
+func TestNewHistoryValidatesArguments(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero depth":     func() { NewHistory(0, 1) },
+		"negative depth": func() { NewHistory(-2, 1) },
+		"negative dim":   func() { NewHistory(2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Dimension 0 is legal (a history of empty vectors) and must not crash.
+	h := NewHistory(1, 0)
+	h.Push(0, 0, la.Vec{})
+	if h.Len() != 1 {
+		t.Fatal("depth-1 dim-0 history rejected a push")
+	}
+}
+
+func TestHistoryDim(t *testing.T) {
+	if d := NewHistory(3, 5).Dim(); d != 5 {
+		t.Fatalf("Dim = %d, want 5", d)
+	}
+}

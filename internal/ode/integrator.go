@@ -119,6 +119,7 @@ func (c *CheckContext) FProp() la.Vec {
 	}
 	if !c.fPropDone {
 		if c.fProp == nil {
+			//lint:allow allocfree -- one-time scratch for non-FSAL pairs: sized on the first check, reused forever after
 			c.fProp = la.NewVec(len(c.XProp))
 		}
 		switch {
@@ -308,18 +309,41 @@ func (in *Integrator) Init(sys System, t0, tEnd float64, x0 la.Vec, h0 float64) 
 	if in.MinStep == 0 {
 		in.MinStep = 1e-14 * math.Max(1, math.Abs(tEnd-t0))
 	}
+	// Re-Init reuses every internal buffer whose shape still fits (same
+	// tableau pointer, same dimension), so a campaign worker can recycle one
+	// integrator across replicates without reallocating the stage storage,
+	// history ring, and scratch vectors each run. Reuse changes no numbers:
+	// every reused buffer is fully overwritten before it is read.
+	m := sys.Dim()
 	in.sys = sys
-	in.stepper = NewStepper(in.Tab, sys)
-	in.hist = NewHistory(in.HistoryDepth, sys.Dim())
+	if in.stepper != nil && in.stepper.Tab == in.Tab {
+		in.stepper.Retarget(sys)
+	} else {
+		in.stepper = NewStepper(in.Tab, sys)
+	}
+	if in.hist != nil && in.hist.Depth() == in.HistoryDepth && in.hist.Dim() == m {
+		in.hist.Reset()
+	} else {
+		in.hist = NewHistory(in.HistoryDepth, m)
+	}
 	in.t, in.tEnd = t0, tEnd
-	in.x = x0.Clone()
+	if len(in.x) == m {
+		in.x.CopyFrom(x0)
+	} else {
+		in.x = x0.Clone()
+	}
 	in.h = h0
-	in.fNext = la.NewVec(sys.Dim())
-	in.xTrialBuf = la.NewVec(sys.Dim())
-	in.fPropBuf = la.NewVec(sys.Dim())
+	if len(in.fNext) != m {
+		in.fNext = la.NewVec(m)
+		in.xTrialBuf = la.NewVec(m)
+		in.fPropBuf = la.NewVec(m)
+		in.weights = la.NewVec(m)
+	}
 	in.haveFNext = false
 	in.fNextCorrupted = false
-	in.weights = la.NewVec(sys.Dim())
+	in.sErrPrev = 0
+	in.trial = Trial{}
+	in.ctxBuf = CheckContext{}
 	in.hist.Push(t0, 0, in.x)
 	in.Stats = Stats{}
 }

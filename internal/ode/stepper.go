@@ -107,5 +107,25 @@ func (s *Stepper) Trial(t, h float64, x la.Vec, k1 la.Vec, hook StageHook) Trial
 	return res
 }
 
-// Dim returns the system dimension.
-func (s *Stepper) Dim() int { return len(s.xProp) }
+// Dim returns the system dimension. It delegates to the system rather than
+// measuring a buffer, so a refactor of the stage storage layout can never
+// skew the reported dimension.
+func (s *Stepper) Dim() int { return s.sys.Dim() }
+
+// Retarget re-points the stepper at sys, reusing the stage storage when the
+// dimension is unchanged. It lets a campaign worker recycle one stepper
+// across replicates instead of reallocating Stages()+3 vectors per run.
+func (s *Stepper) Retarget(sys System) {
+	if sys.Dim() == len(s.xProp) {
+		s.sys = sys
+		return
+	}
+	m := sys.Dim()
+	s.sys = sys
+	for i := range s.K {
+		s.K[i] = la.NewVec(m)
+	}
+	s.xtmp = la.NewVec(m)
+	s.xProp = la.NewVec(m)
+	s.errV = la.NewVec(m)
+}

@@ -56,11 +56,15 @@ func (Weno5) ReconstructLeft(fhat, f []float64) {
 	if n < 1 || len(fhat) != n+1 {
 		panic(fmt.Sprintf("weno: bad line sizes: len(f)=%d len(fhat)=%d", len(f), len(fhat)))
 	}
+	// Interface k sits between interior cells k-1 and k; the upwind (left)
+	// cell is j = k-1+Ghost in padded coordinates, so iteration k reads
+	// f[k..k+4] and shares four of the five cells with iteration k+1. The
+	// window slides one cell per iteration — one load instead of five —
+	// and the arithmetic is untouched, so results stay bit-identical.
+	_ = f[n+4] // hoist the loop's bounds check
+	m2, m1, c, p1 := f[0], f[1], f[2], f[3]
 	for k := 0; k <= n; k++ {
-		// Interface k sits between interior cells k-1 and k; the upwind
-		// (left) cell is j = k-1+Ghost in padded coordinates.
-		j := k - 1 + Ghost
-		m2, m1, c, p1, p2 := f[j-2], f[j-1], f[j], f[j+1], f[j+2]
+		p2 := f[k+4]
 		b0, b1, b2 := Smoothness(m2, m1, c, p1, p2)
 		a0 := 0.1 / ((Eps + b0) * (Eps + b0))
 		a1 := 0.6 / ((Eps + b1) * (Eps + b1))
@@ -71,6 +75,7 @@ func (Weno5) ReconstructLeft(fhat, f []float64) {
 		q1 := (-m1 + 5*c + 2*p1) / 6
 		q2 := (2*c + 5*p1 - p2) / 6
 		fhat[k] = w0*q0 + w1*q1 + w2*q2
+		m2, m1, c, p1 = m1, c, p1, p2
 	}
 }
 
@@ -98,18 +103,21 @@ func (c *Crweno5) ReconstructLeft(fhat, f []float64) {
 	}
 	m := n + 1
 	if cap(c.al) < m {
-		c.al = make([]float64, m)
-		c.ad = make([]float64, m)
-		c.au = make([]float64, m)
-		c.rhs = make([]float64, m)
-		c.scratch = make([]float64, 3*m)
+		c.al = make([]float64, m)        //lint:allow allocfree -- grow-once workspace: sized to the largest line seen, reused after
+		c.ad = make([]float64, m)        //lint:allow allocfree -- grow-once workspace: sized to the largest line seen, reused after
+		c.au = make([]float64, m)        //lint:allow allocfree -- grow-once workspace: sized to the largest line seen, reused after
+		c.rhs = make([]float64, m)       //lint:allow allocfree -- grow-once workspace: sized to the largest line seen, reused after
+		c.scratch = make([]float64, 3*m) //lint:allow allocfree -- grow-once workspace: sized to the largest line seen, reused after
 	}
 	al, ad, au, rhs := c.al[:m], c.ad[:m], c.au[:m], c.rhs[:m]
 
 	var w5 Weno5
+	// Sliding five-cell window as in Weno5.ReconstructLeft: loads only, the
+	// weight arithmetic is untouched.
+	_ = f[n+4] // hoist the loop's bounds check
+	m2, m1, cc, p1 := f[0], f[1], f[2], f[3]
 	for k := 0; k <= n; k++ {
-		j := k - 1 + Ghost
-		m2, m1, cc, p1, p2 := f[j-2], f[j-1], f[j], f[j+1], f[j+2]
+		p2 := f[k+4]
 		b0, b1, b2 := Smoothness(m2, m1, cc, p1, p2)
 		// Optimal compact weights c = (2/10, 5/10, 3/10).
 		a0 := 0.2 / ((Eps + b0) * (Eps + b0))
@@ -123,6 +131,7 @@ func (c *Crweno5) ReconstructLeft(fhat, f []float64) {
 		au[k] = w2 / 3
 		// RHS: (w0/6) f_{k-2} + ((5(w0+w1)+w2)/6) f_{k-1} + ((w1+5w2)/6) f_k
 		rhs[k] = w0/6*m1 + (5*(w0+w1)+w2)/6*cc + (w1+5*w2)/6*p1
+		m2, m1, cc, p1 = m1, cc, p1, p2
 	}
 	if c.Periodic {
 		// Interfaces 0 and n are the same point; solve the cyclic system
@@ -199,9 +208,12 @@ func (WenoZ5) ReconstructLeft(fhat, f []float64) {
 	if n < 1 || len(fhat) != n+1 {
 		panic(fmt.Sprintf("weno: bad line sizes: len(f)=%d len(fhat)=%d", len(f), len(fhat)))
 	}
+	// Sliding five-cell window as in Weno5.ReconstructLeft: loads only, the
+	// weight arithmetic is untouched.
+	_ = f[n+4] // hoist the loop's bounds check
+	m2, m1, c, p1 := f[0], f[1], f[2], f[3]
 	for k := 0; k <= n; k++ {
-		j := k - 1 + Ghost
-		m2, m1, c, p1, p2 := f[j-2], f[j-1], f[j], f[j+1], f[j+2]
+		p2 := f[k+4]
 		b0, b1, b2 := Smoothness(m2, m1, c, p1, p2)
 		tau := b0 - b2
 		if tau < 0 {
@@ -219,5 +231,6 @@ func (WenoZ5) ReconstructLeft(fhat, f []float64) {
 		q1 := (-m1 + 5*c + 2*p1) / 6
 		q2 := (2*c + 5*p1 - p2) / 6
 		fhat[k] = w0*q0 + w1*q1 + w2*q2
+		m2, m1, c, p1 = m1, c, p1, p2
 	}
 }
