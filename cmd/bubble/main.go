@@ -11,7 +11,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/control"
+	_ "repro/internal/core" // registers the detector factories
 	"repro/internal/euler"
 	"repro/internal/grid"
 	"repro/internal/inject"
@@ -32,7 +33,7 @@ func main() {
 		cfl     = flag.Float64("cfl", 0.5, "CFL cap for the step size")
 		times   = flag.String("times", "0,100,150,200", "snapshot times (s)")
 		outDir  = flag.String("out", "bubble-out", "output directory for field files")
-		detName = flag.String("detector", "", "optional detector: lbdc or ibdc")
+		detName = flag.String("detector", "", "optional detector registry name (lbdc, ibdc, ...)")
 		injProb = flag.Float64("inject", 0, "SDC probability per stage evaluation (0 = off)")
 		seed    = flag.Uint64("seed", 1, "injection seed")
 		dtheta  = flag.Float64("dtheta", 0.5, "bubble amplitude (K)")
@@ -69,14 +70,12 @@ func main() {
 	dt := sys.MaxDt(x0, *cfl)
 
 	in := &ode.Integrator{Tab: tab, Ctrl: ode.DefaultController(*tol, *tol), MaxStep: dt}
-	switch *detName {
-	case "":
-	case "lbdc":
-		in.Validator = core.NewLBDC()
-	case "ibdc":
-		in.Validator = core.NewIBDC()
-	default:
-		fatal(fmt.Errorf("unknown detector %q", *detName))
+	if *detName != "" {
+		det, err := control.New(*detName, control.Spec{Tab: tab, Sys: sys})
+		if err != nil {
+			fatal(fmt.Errorf("unknown detector %q", *detName))
+		}
+		in.Validator = det.Validator
 	}
 	if *injProb > 0 {
 		plan := inject.NewPlan(xrand.New(*seed), inject.Scaled{})

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/control"
 	"repro/internal/harness"
 	"repro/internal/inject"
 	"repro/internal/ode"
@@ -65,7 +66,7 @@ func main() {
 		n         = flag.Int("n", 128, "grid resolution for PDE workloads")
 		method    = flag.String("method", "heun-euler", "embedded pair (heun-euler, bogacki-shampine, dormand-prince, fehlberg, cash-karp)")
 		injName   = flag.String("injector", "scaled", "singlebit, multibit, or scaled")
-		detName   = flag.String("detector", "classic", "classic, lbdc, ibdc, replication, tmr, richardson")
+		detName   = flag.String("detector", "classic", "detector registry name: "+strings.Join(control.Names(), ", "))
 		minInj    = flag.Int("inj", 2000, "minimum SDC injections")
 		injProb   = flag.Float64("prob", 0.01, "injection probability per stage evaluation")
 		stateProb = flag.Float64("state-prob", 0, "additional per-step state-corruption probability (§V-D)")

@@ -30,7 +30,8 @@ import (
 	"runtime"
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/control"
+	_ "repro/internal/core" // registers the lbdc/ibdc detector factories
 	"repro/internal/la"
 	"repro/internal/ode"
 )
@@ -64,19 +65,21 @@ var oscillator = ode.Func{N: 2, F: func(t float64, x, dst la.Vec) {
 	dst[1] = -x[0]
 }}
 
-func newDetector(kind string, q int) *core.DoubleCheck {
-	var d *core.DoubleCheck
-	switch kind {
-	case "lip":
-		d = core.NewLBDC()
-	case "bdf":
-		d = core.NewIBDC()
-	default:
+// benchDetectorNames maps the report's historical detector labels (stable
+// keys in BENCH_0.json) to registry names.
+var benchDetectorNames = map[string]string{"lip": "lbdc", "bdf": "ibdc"}
+
+func newDetector(kind string, q int) ode.Validator {
+	regName, ok := benchDetectorNames[kind]
+	if !ok {
 		return nil
 	}
-	d.NoAdapt = true
-	d.SetOrder(q)
-	return d
+	// FixedOrder is 1-based in the registry spec; SetOrder takes q directly.
+	det, err := control.New(regName, control.Spec{NoAdapt: true, FixedOrder: q + 1})
+	if err != nil {
+		panic(err)
+	}
+	return det.Validator
 }
 
 // measure times steady-state steps of one matrix cell: a fresh integrator is

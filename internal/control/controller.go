@@ -1,4 +1,4 @@
-package ode
+package control
 
 import (
 	"math"
@@ -69,6 +69,17 @@ func (c *Controller) NewStepSize(h, sErr float64, controlOrder int) float64 {
 		factor = math.Min(c.AlphaMax, math.Max(c.AlphaMin, a))
 	}
 	return h * factor
+}
+
+// RejectStepSize is the post-rejection contraction used by every integrator
+// in the tree: a +Inf scaled error (a NaN/Inf-poisoned proposal) contracts
+// maximally, anything else follows the step-size law of Eq. (5). Extracted
+// here so the classic-reject branch cannot drift between solvers.
+func (c *Controller) RejectStepSize(h, sErr float64, controlOrder int) float64 {
+	if math.IsInf(sErr, 1) {
+		return h * c.AlphaMin
+	}
+	return c.NewStepSize(h, sErr, controlOrder)
 }
 
 // PIStepSize is the proportional-integral step-size law (Gustafsson's PI.3.4

@@ -1,0 +1,114 @@
+package control
+
+import (
+	"math"
+
+	"repro/internal/la"
+)
+
+// Check is the outcome of one protected-step decision — everything an
+// integrator needs to accept, classic-reject, or recompute a trial, plus the
+// observability fields its tracer records. Vector fields are views into
+// engine-owned buffers, valid until the next Decide call.
+type Check struct {
+	SErr1         float64 // classic scaled error (+Inf for NaN/Inf-poisoned proposals)
+	ClassicReject bool    // trial failed the classic test; the Validator never ran
+	Verdict       Verdict // the Validator's verdict (VerdictAccept when none ran)
+
+	// Observability report of the double-check (CheckContext.ReportCheck):
+	// -1 when no validator ran or it reported nothing.
+	SErr2     float64
+	DetOrder  int
+	DetWindow int
+
+	EstimateInjections int    // corruptions of the double-check's extra evaluation
+	FPropEvals         int    // fresh evaluations the double-check performed (0 or 1)
+	FProp              la.Vec // f(T+H, XProp) if the validator evaluated it, else nil
+}
+
+// Accepted reports whether the trial passed both the classic test and the
+// validator.
+func (c *Check) Accepted() bool {
+	return !c.ClassicReject && c.Verdict != VerdictReject
+}
+
+// Engine composes the Controller's classic acceptance test with the
+// Validator's double-check into the one protected-step decision every
+// integrator calls. It owns the CheckContext scratch and the persistent
+// FProp buffer, so steady-state decisions allocate nothing, and it carries
+// the recomputation latch that tells the Validator a trial reran at the same
+// step size after its own rejection.
+type Engine struct {
+	Validator Validator
+
+	ctx          CheckContext
+	fPropBuf     la.Vec
+	rejectedLast bool
+}
+
+// Reset prepares the engine for a new integration of dimension m, reusing
+// the FProp buffer when the dimension is unchanged.
+func (e *Engine) Reset(m int) {
+	if len(e.fPropBuf) != m {
+		e.fPropBuf = la.NewVec(m)
+	}
+	e.ctx = CheckContext{}
+	e.rejectedLast = false
+}
+
+// BeginStep clears the recomputation latch. Call it when a new step index
+// begins (and after an aborted trial, e.g. a failed implicit stage solve):
+// the next trial is then not a validator-triggered recomputation.
+func (e *Engine) BeginStep() { e.rejectedLast = false }
+
+// Decide runs the protected-step decision on one completed trial: it scores
+// the proposal (weights are refreshed in place unless the proposal is
+// NaN/Inf-poisoned, in which case SErr1 is +Inf), applies the classic test,
+// and hands survivors to the Validator with a fully populated CheckContext.
+// hist, tab, sys, and hook flow through to the Validator's second estimate;
+// fsalFProp, when non-nil, supplies f(T+H, XProp) for free.
+//
+// Decide is the hot path of every protected integrator: it must not
+// allocate in steady state (see the allocfree gate in cmd/sdcvet).
+func (e *Engine) Decide(ctrl *Controller, step int, t, h float64,
+	xStart, xStored, xProp, errVec, weights la.Vec,
+	hist *History, tab *Tableau, sys System, hook StageHook, fsalFProp la.Vec) Check {
+	chk := Check{SErr1: math.Inf(1), SErr2: -1, DetOrder: -1, DetWindow: -1}
+	if !xProp.HasNaNOrInf() && !errVec.HasNaNOrInf() {
+		ctrl.Weights(weights, xProp)
+		chk.SErr1 = ctrl.ScaledError(errVec, weights)
+	}
+	if ClassicReject(chk.SErr1) {
+		chk.ClassicReject = true
+		e.rejectedLast = false
+		return chk
+	}
+	if e.Validator == nil {
+		return chk
+	}
+	// ctx is engine-owned scratch; fPropBuf persists across trials so
+	// CheckContext.FProp never reallocates its storage.
+	e.ctx = CheckContext{
+		StepIndex: step,
+		T:         t, H: h,
+		XStart: xStart, XStored: xStored, XProp: xProp, ErrVec: errVec,
+		SErr1: chk.SErr1, Weights: weights,
+		Hist: hist, Ctrl: ctrl, Tab: tab,
+		Recomputation: e.rejectedLast,
+		sys:           sys,
+		hook:          hook,
+		fsalFProp:     fsalFProp,
+		fProp:         e.fPropBuf,
+	}
+	chk.Verdict = e.Validator.Validate(&e.ctx)
+	chk.EstimateInjections = e.ctx.fPropInjs
+	chk.FPropEvals = e.ctx.fPropEvals
+	if sErr2, q, cWin, ok := e.ctx.CheckReport(); ok {
+		chk.SErr2, chk.DetOrder, chk.DetWindow = sErr2, q, cWin
+	}
+	if e.ctx.fPropDone {
+		chk.FProp = e.ctx.fProp
+	}
+	e.rejectedLast = chk.Verdict == VerdictReject
+	return chk
+}

@@ -1,4 +1,4 @@
-package ode
+package control
 
 import (
 	"fmt"
@@ -25,10 +25,10 @@ type History struct {
 // integer-divide-by-zero panic at the first Push).
 func NewHistory(depth, m int) *History {
 	if depth < 1 {
-		panic(fmt.Sprintf("ode: NewHistory depth must be >= 1, got %d", depth))
+		panic(fmt.Sprintf("control: NewHistory depth must be >= 1, got %d", depth))
 	}
 	if m < 0 {
-		panic(fmt.Sprintf("ode: NewHistory dimension must be >= 0, got %d", m))
+		panic(fmt.Sprintf("control: NewHistory dimension must be >= 0, got %d", m))
 	}
 	h := &History{depth: depth}
 	h.ts = make([]float64, depth)
@@ -73,7 +73,7 @@ func (h *History) X(k int) la.Vec { return h.xs[h.idx(k)] }
 
 func (h *History) idx(k int) int {
 	if k < 0 || k >= h.n {
-		panic("ode: History index out of range")
+		panic("control: History index out of range")
 	}
 	i := h.head - k
 	if i < 0 {

@@ -1,0 +1,153 @@
+package control
+
+import (
+	"fmt"
+
+	"repro/internal/la"
+)
+
+// Policy is Algorithm 1's (q, c) order-adaptation state machine, extracted
+// once from the paper's detector: it selects the order q of the second
+// estimate from the observed false-positive rate, reselecting every CMax
+// checks and immediately after every false positive, and carries the
+// false-positive-rescue bookkeeping (a validator-rejected step recomputed at
+// the same step size that reproduces the bit-identical SErr_1 must have been
+// clean).
+//
+// Zero-value fields default to the paper's constants: Gamma (γ) = 0.05,
+// GammaCap (Γ) = 0.1, CMax = 10, order adaptation on. The embedding detector
+// (core.DoubleCheck) owns the statistics; Policy methods return what changed
+// so the caller can count.
+type Policy struct {
+	Gamma    float64 // lower FPR bound γ (decrease order below it)
+	GammaCap float64 // upper FPR bound Γ (increase order above it)
+	CMax     int     // order reselection period, in checks
+	NoAdapt  bool    // disable Algorithm 1's order adaptation (ablation)
+	// CumulativeFPR measures FP_q/N_steps over the whole run, as Algorithm 1
+	// literally prints. The default measures the rate over the window since
+	// the last order selection, which keeps the duty cycle of the
+	// order oscillation near the (γ, Γ) band instead of winding up at the
+	// over-sensitive order. Ablation switch.
+	CumulativeFPR bool
+
+	qMin, qMax int // inclusive order bounds, fixed at Init
+	q          int // current order
+	inited     bool
+	c          int         // checks since the last order selection
+	nChecks    int         // N_steps of Algorithm 1
+	fpWin      int         // false positives since the last order selection
+	fp         map[int]int // false positives per order (reporting + cumulative mode)
+	lastSErr   float64
+	haveLast   bool
+	lastQ      int // order in force when the last rejection was issued
+}
+
+// Init fixes the order bounds and applies the paper's default constants.
+// It is idempotent; every other method calls through it.
+func (p *Policy) Init(qMin, qMax int) {
+	if p.inited {
+		return
+	}
+	p.inited = true
+	if p.Gamma == 0 {
+		p.Gamma = 0.05
+	}
+	if p.GammaCap == 0 {
+		p.GammaCap = 0.1
+	}
+	if p.CMax == 0 {
+		p.CMax = 10
+	}
+	p.qMin, p.qMax = qMin, qMax
+	p.q = qMin
+	if p.q < 1 {
+		p.q = 1 // start LIP at linear extrapolation; order 0 is far too sharp
+	}
+	p.fp = make(map[int]int)
+}
+
+// Order returns the order currently selected by Algorithm 1.
+func (p *Policy) Order() int { return p.q }
+
+// Window returns c, the number of checks since the last order selection.
+func (p *Policy) Window() int { return p.c }
+
+// SetOrder overrides the current order (used by ablations and tests).
+func (p *Policy) SetOrder(q int) {
+	if q < p.qMin || q > p.qMax {
+		panic(fmt.Sprintf("control: order %d outside [%d, %d]", q, p.qMin, p.qMax))
+	}
+	p.q = q
+}
+
+// BeginCheck opens one validation: it advances N_steps and the window
+// counter c, and performs the periodic order reselection when the window
+// reaches CMax. It reports whether the order changed.
+func (p *Policy) BeginCheck() (orderChanged bool) {
+	p.nChecks++
+	p.c++
+	if p.c >= p.CMax {
+		return p.updateOrder()
+	}
+	return false
+}
+
+// Rescue applies the false-positive self-detection rule: a recomputation of
+// a step this policy's detector rejected that reproduces the bit-identical
+// scaled error must have been clean. On a rescue the false positive is
+// charged to the order that issued the rejection and the order is reselected
+// immediately.
+func (p *Policy) Rescue(sErr1 float64, recomputation bool) (rescued, orderChanged bool) {
+	if !p.haveLast || !recomputation || !la.ExactEq(sErr1, p.lastSErr) {
+		return false, false
+	}
+	p.haveLast = false
+	p.fp[p.lastQ]++
+	p.fpWin++
+	return true, p.updateOrder()
+}
+
+// NoteReject latches the rejected trial's classic scaled error and the order
+// in force, arming the rescue test for the recomputation.
+func (p *Policy) NoteReject(sErr1 float64) {
+	p.lastSErr = sErr1
+	p.haveLast = true
+	p.lastQ = p.q
+}
+
+// NoteAccept disarms the rescue latch after an accepted check. (A check
+// skipped for lack of history deliberately leaves the latch armed.)
+func (p *Policy) NoteAccept() { p.haveLast = false }
+
+// updateOrder applies Algorithm 1's selection rule: an FPR below γ means
+// the check can afford more sensitivity (lower order); an FPR above Γ
+// means too many false positives, so the order rises and the estimate
+// tracks the solution more closely. Combined with immediate reselection on
+// every false positive, the windowed rate bounds the steady-state FPR near
+// 1/(CMax + 1/p) where p is the over-sensitive order's FP probability.
+func (p *Policy) updateOrder() (changed bool) {
+	win := p.c
+	fpWin := p.fpWin
+	p.c = 0
+	p.fpWin = 0
+	if p.NoAdapt || p.nChecks == 0 {
+		return false
+	}
+	var fpr float64
+	if p.CumulativeFPR {
+		fpr = float64(p.fp[p.q]) / float64(p.nChecks)
+	} else if win > 0 {
+		fpr = float64(fpWin) / float64(win)
+	}
+	newQ := p.q
+	if fpr < p.Gamma {
+		newQ = max(p.qMin, p.q-1)
+	} else if fpr > p.GammaCap {
+		newQ = min(p.qMax, p.q+1)
+	}
+	if newQ != p.q {
+		p.q = newQ
+		return true
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression for the NaN fall-through found by the floatcmp analyzer: the
+// classic guard was `sErr > 1`, which is false for NaN, so a corrupted
+// scaled-error reduction silently accepted the step. A NaN must reject
+// with maximum contraction.
+func TestClassicRejectNaNFallThrough(t *testing.T) {
+	if !ClassicReject(math.NaN()) {
+		t.Fatal("NaN scaled error accepted: the corrupted reduction fell through the ordered comparison")
+	}
+	if fac := ElementaryRejectFactor(math.NaN()); fac != 0.1 {
+		t.Fatalf("NaN rejection factor = %g, want maximum contraction 0.1", fac)
+	}
+}
+
+func TestClassicRejectVerdicts(t *testing.T) {
+	cases := []struct {
+		sErr   float64
+		reject bool
+	}{
+		{0, false},
+		{0.5, false},
+		{1, false},
+		{1.0000001, true},
+		{4, true},
+		{math.Inf(1), true},
+	}
+	for _, c := range cases {
+		if got := ClassicReject(c.sErr); got != c.reject {
+			t.Errorf("ClassicReject(%g) = %v, want %v", c.sErr, got, c.reject)
+		}
+		if fac := ElementaryRejectFactor(c.sErr); c.reject && !(fac >= 0.1 && fac <= 1) {
+			t.Errorf("ElementaryRejectFactor(%g) = %g outside [0.1, 1]", c.sErr, fac)
+		}
+	}
+	// The contraction factor must be well-defined (not NaN) even at +Inf,
+	// where 1/sErr underflows to 0.
+	if fac := ElementaryRejectFactor(math.Inf(1)); math.IsNaN(fac) {
+		t.Error("ElementaryRejectFactor(+Inf) produced a NaN step factor")
+	}
+}
+
+func TestDetectorRejectNaN(t *testing.T) {
+	if !DetectorReject(math.NaN()) {
+		t.Fatal("NaN second estimate accepted: the check fell through the ordered comparison")
+	}
+	if DetectorReject(0.9) {
+		t.Error("DetectorReject(0.9) = true, want accept")
+	}
+	if !DetectorReject(1.1) {
+		t.Error("DetectorReject(1.1) = false, want reject")
+	}
+}
+
+func TestElementaryAcceptFactorBounds(t *testing.T) {
+	for _, sErr := range []float64{0, 1e-300, 1e-6, 0.5, 1} {
+		fac := ElementaryAcceptFactor(sErr)
+		if math.IsNaN(fac) || fac < 0.1 || fac > 10 {
+			t.Errorf("ElementaryAcceptFactor(%g) = %g outside [0.1, 10]", sErr, fac)
+		}
+	}
+	// A vanishing scaled error hits the alphaMax cap, not +Inf.
+	if fac := ElementaryAcceptFactor(0); fac != 10 {
+		t.Errorf("ElementaryAcceptFactor(0) = %g, want the cap 10", fac)
+	}
+}

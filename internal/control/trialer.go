@@ -1,0 +1,44 @@
+package control
+
+import "repro/internal/la"
+
+// TrialResult is the outcome of one trial step before any accept/reject
+// decision. The vectors are views into the trialer's buffers: they are valid
+// until the next Trial call and must be copied to be retained.
+type TrialResult struct {
+	XProp      la.Vec // proposed solution x_{n+1}
+	ErrVec     la.Vec // embedded LTE estimate x_{n+1} - x~_{n+1}
+	FProp      la.Vec // f(t+h, x_{n+1}) when the pair is FSAL, else nil
+	Injections int    // corruptions applied by the stage hook during this trial
+	// LastStageInjections counts corruptions of the final stage alone; for
+	// FSAL pairs that stage is reused as the next step's first stage, so its
+	// corruption propagates across the step boundary.
+	LastStageInjections int
+	Evals               int // fresh right-hand-side evaluations performed
+}
+
+// Trialer produces one candidate step with its embedded local-truncation-
+// error estimate — the first quarter of the protected-step protocol.
+// ode.Stepper satisfies it natively; implicit and method-of-lines steppers
+// adapt through FuncTrialer. The redundancy validators (replication, TMR,
+// Richardson, oracle) replay trials through this interface on clean shadow
+// trialers.
+//
+// k1 optionally supplies a precomputed f(t, x) for the first stage (the
+// first-same-as-last reuse of §V-B); pass nil to evaluate it. hook, if
+// non-nil, is called after each fresh stage evaluation and may corrupt the
+// stage in place.
+type Trialer interface {
+	Trial(t, h float64, x la.Vec, k1 la.Vec, hook StageHook) TrialResult
+}
+
+// FuncTrialer adapts a plain candidate-step function to the Trialer
+// interface, for steppers whose stage mechanics do not match the embedded-RK
+// shape (implicit stage solves, distributed method-of-lines right-hand
+// sides).
+type FuncTrialer func(t, h float64, x la.Vec, k1 la.Vec, hook StageHook) TrialResult
+
+// Trial implements Trialer.
+func (f FuncTrialer) Trial(t, h float64, x la.Vec, k1 la.Vec, hook StageHook) TrialResult {
+	return f(t, h, x, k1, hook)
+}

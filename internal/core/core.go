@@ -29,6 +29,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/control"
 	"repro/internal/la"
 	"repro/internal/ode"
 )
@@ -156,34 +157,16 @@ func (s *Stats) MeanOrder() float64 {
 
 // DoubleCheck is the paper's detector (Algorithm 1): it validates every
 // controller-accepted step against a second scaled error estimate and
-// adapts the estimate's order from the observed false-positive rate.
-//
-// Zero-value fields default to the paper's constants: Gamma (γ) = 0.05,
-// GammaCap (Γ) = 0.1, CMax = 10, order adaptation on.
+// adapts the estimate's order through the embedded control.Policy (the one
+// implementation of the (q, c) state machine). The Policy's tuning knobs
+// (Gamma, GammaCap, CMax, NoAdapt, CumulativeFPR) promote to DoubleCheck
+// fields; zero values default to the paper's constants.
 type DoubleCheck struct {
 	Strat Strategy
 
-	Gamma    float64 // lower FPR bound γ (decrease order below it)
-	GammaCap float64 // upper FPR bound Γ (increase order above it)
-	CMax     int     // order reselection period, in checks
-	NoAdapt  bool    // disable Algorithm 1's order adaptation (ablation)
-	// CumulativeFPR measures FP_q/N_steps over the whole run, as Algorithm 1
-	// literally prints. The default measures the rate over the window since
-	// the last order selection, which keeps the duty cycle of the
-	// order oscillation near the (γ, Γ) band instead of winding up at the
-	// over-sensitive order. Ablation switch.
-	CumulativeFPR bool
+	control.Policy
 
-	q        int // current order
-	inited   bool
-	c        int         // checks since the last order selection
-	nChecks  int         // N_steps of Algorithm 1
-	fpWin    int         // false positives since the last order selection
-	fp       map[int]int // false positives per order (reporting + cumulative mode)
-	lastSErr float64
-	haveLast bool
-	lastQ    int // order in force when the last rejection was issued
-	est      la.Vec
+	est la.Vec
 
 	Stats Stats
 }
@@ -200,31 +183,14 @@ func NewLBDC() *DoubleCheck { return NewDoubleCheck(&LIP{}) }
 func NewIBDC() *DoubleCheck { return NewDoubleCheck(&BDF{}) }
 
 func (d *DoubleCheck) init() {
-	if d.inited {
-		return
-	}
-	d.inited = true
-	if d.Gamma == 0 {
-		d.Gamma = 0.05
-	}
-	if d.GammaCap == 0 {
-		d.GammaCap = 0.1
-	}
-	if d.CMax == 0 {
-		d.CMax = 10
-	}
-	qMin, _ := d.Strat.OrderRange()
-	d.q = qMin
-	if d.q < 1 {
-		d.q = 1 // start LIP at linear extrapolation; order 0 is far too sharp
-	}
-	d.fp = make(map[int]int)
+	qMin, qMax := d.Strat.OrderRange()
+	d.Policy.Init(qMin, qMax)
 }
 
 // Order returns the order currently selected by Algorithm 1.
 func (d *DoubleCheck) Order() int {
 	d.init()
-	return d.q
+	return d.Policy.Order()
 }
 
 // SetOrder overrides the current order (used by ablations and tests).
@@ -234,67 +200,33 @@ func (d *DoubleCheck) SetOrder(q int) {
 	if q < qMin || q > qMax {
 		panic(fmt.Sprintf("core: order %d outside [%d, %d]", q, qMin, qMax))
 	}
-	d.q = q
+	d.Policy.SetOrder(q)
 }
 
-// updateOrder applies Algorithm 1's selection rule: an FPR below γ means
-// the check can afford more sensitivity (lower order); an FPR above Γ
-// means too many false positives, so the order rises and the estimate
-// tracks the solution more closely. Combined with immediate reselection on
-// every false positive, the windowed rate bounds the steady-state FPR near
-// 1/(CMax + 1/p) where p is the over-sensitive order's FP probability.
-func (d *DoubleCheck) updateOrder() {
-	win := d.c
-	fpWin := d.fpWin
-	d.c = 0
-	d.fpWin = 0
-	if d.NoAdapt || d.nChecks == 0 {
-		return
-	}
-	var fpr float64
-	if d.CumulativeFPR {
-		fpr = float64(d.fp[d.q]) / float64(d.nChecks)
-	} else if win > 0 {
-		fpr = float64(fpWin) / float64(win)
-	}
-	qMin, qMax := d.Strat.OrderRange()
-	newQ := d.q
-	if fpr < d.Gamma {
-		newQ = maxInt(qMin, d.q-1)
-	} else if fpr > d.GammaCap {
-		newQ = minInt(qMax, d.q+1)
-	}
-	if newQ != d.q {
-		d.q = newQ
-		d.Stats.OrderChanges++
-	}
-}
-
-// Validate implements ode.Validator with Algorithm 1.
+// Validate implements ode.Validator with Algorithm 1. The accept/reject
+// arithmetic and the order bookkeeping live in internal/control; this method
+// wires them to the Strategy's second estimate and keeps the statistics.
 func (d *DoubleCheck) Validate(c *ode.CheckContext) ode.Verdict {
 	d.init()
-	d.nChecks++
 	d.Stats.Checks++
 
 	// Periodic order reselection.
-	d.c++
-	if d.c >= d.CMax {
-		d.updateOrder()
+	if d.Policy.BeginCheck() {
+		d.Stats.OrderChanges++
 	}
 
 	// False-positive self-detection: a recomputation of a step we rejected
 	// that reproduces the identical scaled error must have been clean.
-	if d.haveLast && c.Recomputation && la.ExactEq(c.SErr1, d.lastSErr) {
-		d.haveLast = false
-		d.fp[d.lastQ]++
-		d.fpWin++
+	if rescued, changed := d.Policy.Rescue(c.SErr1, c.Recomputation); rescued {
+		if changed {
+			d.Stats.OrderChanges++
+		}
 		d.Stats.FPRescues++
-		d.updateOrder()
-		c.ReportCheck(-1, d.q, d.c)
+		c.ReportCheck(-1, d.Policy.Order(), d.Policy.Window())
 		return ode.VerdictFPRescue
 	}
 
-	q := d.Strat.EffectiveOrder(c, d.q)
+	q := d.Strat.EffectiveOrder(c, d.Policy.Order())
 	if q < 0 {
 		d.Stats.Skipped++
 		return ode.VerdictAccept // not enough history yet
@@ -307,15 +239,13 @@ func (d *DoubleCheck) Validate(c *ode.CheckContext) ode.Verdict {
 	}
 	d.Strat.Estimate(d.est, c, q)
 	sErr2 := c.Ctrl.ScaledDiff(c.XProp, d.est, c.Weights)
-	c.ReportCheck(sErr2, d.q, d.c)
-	if sErr2 > 1 {
-		d.lastSErr = c.SErr1
-		d.haveLast = true
-		d.lastQ = d.q
+	c.ReportCheck(sErr2, d.Policy.Order(), d.Policy.Window())
+	if control.DetectorReject(sErr2) {
+		d.Policy.NoteReject(c.SErr1)
 		d.Stats.Rejections++
 		return ode.VerdictReject
 	}
-	d.haveLast = false
+	d.Policy.NoteAccept()
 	return ode.VerdictAccept
 }
 
@@ -324,19 +254,5 @@ func (d *DoubleCheck) Validate(c *ode.CheckContext) ode.Verdict {
 // scratch vector. Compare against the solver's N_k+2 baseline (§VI-B).
 func (d *DoubleCheck) ExtraVectors() int {
 	d.init()
-	return d.Strat.ExtraVectors(d.q) + 1
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	return d.Strat.ExtraVectors(d.Policy.Order()) + 1
 }

@@ -141,73 +141,8 @@ func TestDoubleCheckDetectsUndetectedSignificantSDC(t *testing.T) {
 	}
 }
 
-func TestOrderAdaptationRaisesOrderUnderFalsePositives(t *testing.T) {
-	d := NewIBDC()
-	d.SetOrder(1)
-	// Simulate Algorithm 1's bookkeeping: a window with frequent FPs.
-	d.nChecks = 10
-	d.c, d.fpWin = 10, 5 // window FPR = 0.5 > Γ
-	d.updateOrder()
-	if d.Order() != 2 {
-		t.Fatalf("order = %d, want 2 after high FPR", d.Order())
-	}
-	d.c, d.fpWin = 10, 5
-	d.updateOrder()
-	if d.Order() != 3 {
-		t.Fatalf("order capped wrong: %d", d.Order())
-	}
-	d.c, d.fpWin = 10, 5
-	d.updateOrder() // at cap, high FPR: stays 3
-	if d.Order() != 3 {
-		t.Fatalf("order exceeded qMax: %d", d.Order())
-	}
-}
-
-func TestOrderAdaptationLowersOrderWhenQuiet(t *testing.T) {
-	d := NewIBDC()
-	d.SetOrder(3)
-	d.nChecks = 100
-	d.c, d.fpWin = 100, 1 // window FPR = 0.01 < γ
-	d.updateOrder()
-	if d.Order() != 2 {
-		t.Fatalf("order = %d, want 2 after low FPR", d.Order())
-	}
-	d.c, d.fpWin = 100, 7 // FPR = 0.07 in (γ, Γ): hysteresis, no change
-	d.updateOrder()
-	if d.Order() != 2 {
-		t.Fatalf("order = %d, want 2 in hysteresis band", d.Order())
-	}
-}
-
-func TestOrderAdaptationCumulativeMode(t *testing.T) {
-	// The ablation mode follows Algorithm 1's literal FP_q/N_steps ratio.
-	d := NewIBDC()
-	d.CumulativeFPR = true
-	d.SetOrder(1)
-	d.nChecks = 10
-	d.fp[1] = 5
-	d.updateOrder()
-	if d.Order() != 2 {
-		t.Fatalf("cumulative mode: order = %d, want 2", d.Order())
-	}
-	d.fp[2] = 0 // FPR at order 2 is 0 < γ: falls back down
-	d.updateOrder()
-	if d.Order() != 1 {
-		t.Fatalf("cumulative mode: order = %d, want 1", d.Order())
-	}
-}
-
-func TestNoAdaptDisablesOrderChanges(t *testing.T) {
-	d := NewIBDC()
-	d.NoAdapt = true
-	d.SetOrder(2)
-	d.nChecks = 10
-	d.fp[2] = 9
-	d.updateOrder()
-	if d.Order() != 2 || d.Stats.OrderChanges != 0 {
-		t.Fatalf("NoAdapt violated: order=%d changes=%d", d.Order(), d.Stats.OrderChanges)
-	}
-}
+// (Algorithm 1's order-adaptation state machine is white-box tested in
+// internal/control/policy_test.go, where the (q, c) state now lives.)
 
 func TestSetOrderPanicsOutOfRange(t *testing.T) {
 	defer func() {
@@ -216,6 +151,30 @@ func TestSetOrderPanicsOutOfRange(t *testing.T) {
 		}
 	}()
 	NewLBDC().SetOrder(5)
+}
+
+// nanStrategy forces the second estimate to NaN regardless of the history.
+type nanStrategy struct{ LIP }
+
+func (nanStrategy) Estimate(dst la.Vec, c *ode.CheckContext, q int) {
+	dst.Fill(math.NaN())
+}
+
+func TestDoubleCheckRejectsNaNSecondEstimate(t *testing.T) {
+	// Regression: the detector test used to read `sErr2 > 1`, so a NaN
+	// second estimate (every NaN comparison is false) fell through to
+	// acceptance — the exact silent fall-through the shared
+	// control.DetectorReject rule exists to forbid.
+	d := NewDoubleCheck(&nanStrategy{})
+	v := d.Validate(&ode.CheckContext{
+		Hist: primedHistory(4), Ctrl: ctrl(), XProp: la.Vec{1}, Weights: la.Vec{1},
+	})
+	if v != ode.VerdictReject {
+		t.Fatalf("NaN second estimate returned verdict %v, want VerdictReject", v)
+	}
+	if d.Stats.Rejections != 1 {
+		t.Fatalf("Rejections = %d, want 1", d.Stats.Rejections)
+	}
 }
 
 func TestExtraVectorsAccounting(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/control"
 	"repro/internal/la"
 	"repro/internal/mpi"
 	"repro/internal/ode"
@@ -167,7 +168,7 @@ func RunAdaptiveBurgers(cfg AdaptiveConfig) (*AdaptiveResult, error) {
 
 		t := 0.0
 		h := maxStep / 4
-		lastSErr := math.Inf(-1) // FP self-detection state (Algorithm 1)
+		var latch control.RescueLatch // FP self-detection state (Algorithm 1)
 		hist.Push(0, 0, u)
 		for t < cfg.TEnd-1e-12 {
 			if h > maxStep {
@@ -189,30 +190,33 @@ func RunAdaptiveBurgers(cfg AdaptiveConfig) (*AdaptiveResult, error) {
 			errv.Scale(h / 2)
 			la.ErrWeights(w, prop, cfg.TolA, cfg.TolR)
 			sErr := globalWRMS(errv, w)
-			if reject, fac := classicReject(sErr); reject {
+			// The NaN-rejects rule and the step factors are the shared
+			// control-package predicates; since sErr is identical on every
+			// rank, the decision stays in lockstep.
+			if control.ClassicReject(sErr) {
 				if rank == 0 {
 					res.RejClassic++
 				}
-				h *= fac
+				h *= control.ElementaryRejectFactor(sErr)
 				continue
 			}
-			if cfg.IBDC && hist.Len() >= 1 && !la.ExactEq(sErr, lastSErr) {
-				// sErr == lastSErr marks a recomputation reproducing the
+			if cfg.IBDC && hist.Len() >= 1 && !latch.Rescued(sErr) {
+				// A rescued sErr marks a recomputation reproducing the
 				// identical classic error: Algorithm 1's false-positive
 				// rescue, which accepts without re-running the check.
 				q := ode.MaxBDFOrder(hist, cfg.QMax)
 				rhs(prop, fProp)
 				bdf.Estimate(est, hist, q, t+h, fProp)
-				if sErr2 := globalWRMS(diffInto(est, prop, est), w); detectorReject(sErr2) {
+				if sErr2 := globalWRMS(diffInto(est, prop, est), w); control.DetectorReject(sErr2) {
 					if rank == 0 {
 						res.RejDetector++
 					}
-					lastSErr = sErr
+					latch.Arm(sErr)
 					// Lockstep recomputation at the same step size.
 					continue
 				}
 			}
-			lastSErr = math.Inf(-1)
+			latch.Disarm()
 			u.CopyFrom(prop)
 			t += h
 			hist.Push(t, h, u)
@@ -220,7 +224,7 @@ func RunAdaptiveBurgers(cfg AdaptiveConfig) (*AdaptiveResult, error) {
 				res.Steps++
 				res.AcceptedSErr = append(res.AcceptedSErr, sErr)
 			}
-			h = h * math.Min(10, math.Max(0.1, 0.9*math.Pow(1/math.Max(sErr, 1e-12), 0.5)))
+			h = h * control.ElementaryAcceptFactor(sErr)
 		}
 		res.Blocks[rank] = u
 		if rank == 0 {
@@ -234,30 +238,6 @@ func RunAdaptiveBurgers(cfg AdaptiveConfig) (*AdaptiveResult, error) {
 		}
 	}
 	return res, nil
-}
-
-// classicReject decides the classic controller's verdict for the globally
-// reduced scaled error, returning the step-contraction factor on
-// rejection. A NaN scaled error marks a corrupted reduction: every ordered
-// comparison with NaN is false, so a plain `sErr > 1` guard would fall
-// through to acceptance — the exact silent-corruption hazard this solver
-// exists to catch. NaN rejects with maximum contraction (the estimate
-// carries no size information), and since sErr is identical on every rank
-// the decision stays in lockstep.
-func classicReject(sErr float64) (reject bool, factor float64) {
-	if math.IsNaN(sErr) {
-		return true, 0.1
-	}
-	if sErr > 1 {
-		return true, math.Min(1, math.Max(0.1, 0.9*math.Pow(1/sErr, 0.5)))
-	}
-	return false, 1
-}
-
-// detectorReject decides IBDC's verdict for the second estimate's scaled
-// error, with the same NaN-rejects rule as classicReject.
-func detectorReject(sErr2 float64) bool {
-	return math.IsNaN(sErr2) || sErr2 > 1
 }
 
 // diffInto computes dst = a - b (dst may alias a) and returns dst.

@@ -2,12 +2,15 @@ package harness
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/control"
+	// The detector registry is populated by package init functions; the blank
+	// import pulls in the lbdc/ibdc/replication/tmr/richardson factories and
+	// the aid/hotrode fixed-step detectors.
+	_ "repro/internal/core"
 	"repro/internal/inject"
 	"repro/internal/ode"
 	"repro/internal/problems"
@@ -185,73 +188,31 @@ func (r *Result) Canonical() Result {
 	return c
 }
 
-// detectorInstance couples a validator with its post-run accounting.
-type detectorInstance struct {
-	validator ode.Validator
-	memVecs   func() float64
-	meanOrder func() float64
+// makeDetector builds the campaign cell's detector from the control
+// registry (the detectors in internal/core register themselves; "classic"
+// and "oracle" resolve to nil validators — the oracle's clean-shadow
+// validator is constructed by runReplicate, which owns that machinery).
+func makeDetector(kind DetectorKind, tab *ode.Tableau, sys ode.System, plan *inject.Plan, cfg *Config) (control.Detector, error) {
+	det, err := control.New(string(kind), control.Spec{
+		Tab:        tab,
+		Sys:        sys,
+		NoAdapt:    cfg.NoAdapt,
+		FixedOrder: cfg.FixedOrder,
+		Quiesce:    plan.Pause,
+	})
+	if err != nil {
+		return control.Detector{}, fmt.Errorf("harness: unknown detector %q", kind)
+	}
+	return det, nil
 }
 
-func makeDetector(kind DetectorKind, tab *ode.Tableau, sys ode.System, plan *inject.Plan, cfg *Config) (detectorInstance, error) {
-	none := func() float64 { return 0 }
-	noAdapt := cfg.NoAdapt
-	pin := func(d *core.DoubleCheck) {
-		if cfg.FixedOrder > 0 {
-			d.SetOrder(cfg.FixedOrder - 1)
-		}
-	}
-	switch kind {
-	case Classic:
-		return detectorInstance{nil, none, none}, nil
-	case LBDC:
-		d := core.NewLBDC()
-		d.NoAdapt = noAdapt
-		pin(d)
-		return detectorInstance{
-			validator: d,
-			// Order-q LIP keeps q solutions beyond x_{n-1} plus the scratch.
-			memVecs:   func() float64 { return d.Stats.MeanOrder() + 1 },
-			meanOrder: func() float64 { return d.Stats.MeanOrder() },
-		}, nil
-	case IBDC:
-		d := core.NewIBDC()
-		d.NoAdapt = noAdapt
-		pin(d)
-		return detectorInstance{
-			validator: d,
-			// Order-q BDF keeps q-1 solutions beyond x_{n-1} plus scratch.
-			memVecs:   func() float64 { return math.Max(0, d.Stats.MeanOrder()-1) + 1 },
-			meanOrder: func() float64 { return d.Stats.MeanOrder() },
-		}, nil
-	case Replication:
-		d := core.NewReplication(tab, sys)
-		d.Quiesce = plan.Pause
-		return detectorInstance{
-			validator: d,
-			memVecs:   func() float64 { return float64(tab.Stages() + 2) },
-			meanOrder: none,
-		}, nil
-	case TMR:
-		d := core.NewTMR(tab, sys)
-		d.Quiesce = plan.Pause
-		return detectorInstance{
-			validator: d,
-			memVecs:   func() float64 { return float64(2 * (tab.Stages() + 2)) },
-			meanOrder: none,
-		}, nil
-	case Richardson:
-		d := core.NewRichardson(tab, sys)
-		d.Quiesce = plan.Pause
-		return detectorInstance{
-			validator: d,
-			memVecs:   func() float64 { return 2 }, // midpoint + replica proposal
-			meanOrder: none,
-		}, nil
-	case Oracle:
-		// Constructed by Run, which owns the clean shadow machinery.
-		return detectorInstance{nil, none, none}, nil
-	}
-	return detectorInstance{}, fmt.Errorf("harness: unknown detector %q", kind)
+func init() {
+	// The oracle is a harness construct, not a detector implementation: its
+	// clean-shadow validator needs the replicate's injection plan and scratch
+	// arena, so runReplicate builds it after this registry lookup.
+	control.Register("oracle", func(control.Spec) (control.Detector, error) {
+		return control.Detector{}, nil
+	})
 }
 
 // Run executes the campaign cell until MinInjections SDCs have been applied.
@@ -373,7 +334,7 @@ func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
 	in := scr.integrator()
 	in.Tab = cfg.Tab
 	in.Ctrl = ctrl
-	in.Validator = det.validator
+	in.Validator = det.Validator
 	in.Hook = hook
 	in.OnTrial = nil
 	in.Tracer = nil
@@ -455,8 +416,8 @@ func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
 	out.steps = in.Stats.Steps
 	out.trialSteps = in.Stats.TrialSteps
 	out.evals = counting.Evals
-	out.memVecs = det.memVecs()
-	out.meanOrder = det.meanOrder()
+	out.memVecs = det.MemVectors()
+	out.meanOrder = det.MeanOrder()
 	//lint:allow walltime -- per-replicate wall time feeds the §VI-B overhead ratio, never the deterministic outputs
 	out.seconds = time.Since(repStart).Seconds()
 	if m := out.metrics; m != nil {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/control"
 	"repro/internal/inject"
 	"repro/internal/la"
 	"repro/internal/ode"
@@ -83,14 +83,12 @@ func RunFixed(cfg FixedConfig) (*Result, error) {
 			plan.Prob = cfg.InjectProb
 		}
 
-		var det ode.FixedValidator
-		switch cfg.Detector {
-		case FixedNone, "":
-		case FixedAID:
-			det = core.NewAID()
-		case FixedHotRode:
-			det = core.NewHotRode()
-		default:
+		name := string(cfg.Detector)
+		if name == "" {
+			name = string(FixedNone)
+		}
+		det, err := control.NewFixed(name)
+		if err != nil {
 			return nil, fmt.Errorf("harness: unknown fixed detector %q", cfg.Detector)
 		}
 

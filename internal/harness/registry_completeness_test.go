@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/scaling"
+)
+
+// The detector registry is the single source of truth for detector names.
+// Every enumeration of detectors elsewhere — the harness kinds, the scaling
+// model's analytic subset, the fixed-step kinds — must agree with it, so a
+// detector added in one place cannot silently be missing from another.
+func TestDetectorRegistryComplete(t *testing.T) {
+	reg := control.Names()
+
+	var kinds []string
+	for _, k := range AllDetectors() {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	if len(kinds) != len(reg) {
+		t.Fatalf("harness.AllDetectors() has %d kinds, registry has %d: %v vs %v", len(kinds), len(reg), kinds, reg)
+	}
+	for i := range reg {
+		if kinds[i] != reg[i] {
+			t.Errorf("name %d: harness kind %q != registry name %q", i, kinds[i], reg[i])
+		}
+	}
+
+	// The scaling model covers an analytic subset; each member must still be
+	// a registered detector name.
+	inReg := make(map[string]bool, len(reg))
+	for _, n := range reg {
+		inReg[n] = true
+	}
+	for _, d := range []scaling.Detector{scaling.Classic, scaling.LBDC, scaling.IBDC, scaling.Replication} {
+		if !inReg[string(d)] {
+			t.Errorf("scaling detector %q is not a registered detector name", d)
+		}
+	}
+}
+
+func TestFixedDetectorRegistryComplete(t *testing.T) {
+	reg := control.FixedNames()
+	var kinds []string
+	for _, k := range []FixedDetectorKind{FixedNone, FixedAID, FixedHotRode} {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	if len(kinds) != len(reg) {
+		t.Fatalf("fixed kinds count %d != registry count %d: %v vs %v", len(kinds), len(reg), kinds, reg)
+	}
+	for i := range reg {
+		if kinds[i] != reg[i] {
+			t.Errorf("name %d: fixed kind %q != registry name %q", i, kinds[i], reg[i])
+		}
+	}
+
+	// Every registered fixed name must construct without error (the registry
+	// entry would otherwise be dead weight that RunFixed can never use).
+	for _, n := range reg {
+		if _, err := control.NewFixed(n); err != nil {
+			t.Errorf("NewFixed(%q): %v", n, err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/control"
 	"repro/internal/krylov"
 	"repro/internal/la"
 	"repro/internal/ode"
@@ -56,6 +57,7 @@ type BDF struct {
 	// the slices are sized once in Init and never grow).
 	nodes, dw, dscratch []float64
 	lip                 ode.LIPEstimator
+	engine              control.Engine // shared protected-step pipeline
 
 	Stats Stats
 }
@@ -93,6 +95,7 @@ func (in *BDF) Init(sys ode.System, t0, tEnd float64, x0 la.Vec, h0 float64) {
 	in.nodes = make([]float64, 3)
 	in.dw = make([]float64, 3)
 	in.dscratch = make([]float64, 3)
+	in.engine.Reset(m)
 	in.Stats = Stats{}
 }
 
@@ -193,7 +196,8 @@ func (in *BDF) Step() error {
 	if in.t+h > in.tEnd {
 		h = in.tEnd - in.t
 	}
-	validatorRejectedLast := false
+	in.engine.Validator = in.Validator
+	in.engine.BeginStep()
 	for attempt := 1; ; attempt++ {
 		if attempt > in.MaxTrials {
 			return ErrTooManyTrials
@@ -231,7 +235,7 @@ func (in *BDF) Step() error {
 		if err := in.solveImplicit(tn, d[0]); err != nil {
 			in.Stats.RejectedNewton++
 			h /= 2
-			validatorRejectedLast = false
+			in.engine.BeginStep() // an aborted trial is not a recomputation
 			continue
 		}
 
@@ -241,40 +245,27 @@ func (in *BDF) Step() error {
 		in.errVec.Sub(in.pred)
 		in.errVec.Scale(1.0 / float64(order+1))
 
-		bad := in.xProp.HasNaNOrInf() || in.errVec.HasNaNOrInf()
-		var sErr1 float64
-		if bad {
-			sErr1 = math.Inf(1)
-		} else {
-			in.Ctrl.Weights(in.weights, in.xProp)
-			sErr1 = in.Ctrl.ScaledError(in.errVec, in.weights)
-		}
-		if sErr1 > 1 || math.IsNaN(sErr1) {
+		// The shared protected-step pipeline. f(tn, xProp) was just computed
+		// by the last Newton residual evaluation, but the detector recomputes
+		// it cleanly (one eval, counted below on acceptance).
+		chk := in.engine.Decide(&in.Ctrl, in.Stats.Steps, in.t, h,
+			in.x, in.x, in.xProp, in.errVec, in.weights,
+			in.hist, nil, in.sys, nil, nil)
+		sErr1 := chk.SErr1
+		if chk.ClassicReject {
 			in.Stats.RejectedClassic++
-			if math.IsInf(sErr1, 1) {
-				h *= in.Ctrl.AlphaMin
-			} else {
-				h = in.Ctrl.NewStepSize(h, sErr1, order+1)
-			}
-			validatorRejectedLast = false
+			h = in.Ctrl.RejectStepSize(h, sErr1, order+1)
 			continue
 		}
 
-		if in.Validator != nil {
-			// f(tn, xProp) was just computed by the last Newton residual
-			// evaluation; recompute cleanly for the detector (one eval).
-			ctx := ode.NewCheckContext(in.Stats.Steps, in.t, h, in.x, in.x, in.xProp, in.errVec,
-				sErr1, in.weights, in.hist, &in.Ctrl, nil, validatorRejectedLast, nil, in.sys)
-			switch in.Validator.Validate(ctx) {
-			case ode.VerdictReject:
-				in.Stats.RejectedValidator++
-				validatorRejectedLast = true
-				continue
-			case ode.VerdictFPRescue:
-				in.Stats.FPRescues++
-			}
-			in.Stats.Evals += int64(ctx.FPropEvals())
+		switch chk.Verdict {
+		case ode.VerdictReject:
+			in.Stats.RejectedValidator++
+			continue
+		case ode.VerdictFPRescue:
+			in.Stats.FPRescues++
 		}
+		in.Stats.Evals += int64(chk.FPropEvals)
 
 		in.t = tn
 		in.x.CopyFrom(in.xProp)

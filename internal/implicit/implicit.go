@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/control"
 	"repro/internal/krylov"
 	"repro/internal/la"
 	"repro/internal/ode"
@@ -79,6 +80,7 @@ type Integrator struct {
 	weights   la.Vec
 	jvBase    la.Vec
 	jvScratch la.Vec
+	engine    control.Engine // shared protected-step pipeline
 
 	Stats Stats
 }
@@ -123,6 +125,7 @@ func (in *Integrator) Init(sys ode.System, t0, tEnd float64, x0 la.Vec, h0 float
 	for _, v := range []*la.Vec{&in.k1, &in.k2, &in.stage, &in.resid, &in.delta, &in.ftmp, &in.xProp, &in.errVec, &in.weights, &in.jvBase, &in.jvScratch} {
 		*v = la.NewVec(m)
 	}
+	in.engine.Reset(m)
 	in.Stats = Stats{}
 }
 
@@ -234,7 +237,8 @@ func (in *Integrator) Step() error {
 	if in.t+h > in.tEnd {
 		h = in.tEnd - in.t
 	}
-	validatorRejectedLast := false
+	in.engine.Validator = in.Validator
+	in.engine.BeginStep()
 	for attempt := 1; ; attempt++ {
 		if attempt > in.MaxTrials {
 			return ErrTooManyTrials
@@ -250,7 +254,7 @@ func (in *Integrator) Step() error {
 		if err := in.solveStage(in.t+Gamma*h, h, in.x, in.k1); err != nil {
 			in.Stats.RejectedNewton++
 			h /= 2
-			validatorRejectedLast = false
+			in.engine.BeginStep() // an aborted trial is not a recomputation
 			continue
 		}
 		// Stage 2: base = x + h(1-Gamma) K1; K2 = f(t+h, base + h Gamma K2).
@@ -261,7 +265,7 @@ func (in *Integrator) Step() error {
 		if err := in.solveStage(in.t+h, h, base2, in.k2); err != nil {
 			in.Stats.RejectedNewton++
 			h /= 2
-			validatorRejectedLast = false
+			in.engine.BeginStep()
 			continue
 		}
 
@@ -276,38 +280,25 @@ func (in *Integrator) Step() error {
 		in.errVec.Sub(in.k2)
 		in.errVec.Scale(d)
 
-		bad := in.xProp.HasNaNOrInf() || in.errVec.HasNaNOrInf()
-		var sErr1 float64
-		if bad {
-			sErr1 = math.Inf(1)
-		} else {
-			in.Ctrl.Weights(in.weights, in.xProp)
-			sErr1 = in.Ctrl.ScaledError(in.errVec, in.weights)
-		}
+		// The shared protected-step pipeline; K2 = f(t+h, xProp) by stiff
+		// accuracy, so the double-check's FProp is free.
+		chk := in.engine.Decide(&in.Ctrl, in.Stats.Steps, in.t, h,
+			in.x, in.x, in.xProp, in.errVec, in.weights,
+			in.hist, nil, in.sys, nil, in.k2)
+		sErr1 := chk.SErr1
 
-		if sErr1 > 1 || math.IsNaN(sErr1) {
+		if chk.ClassicReject {
 			in.Stats.RejectedClassic++
-			if math.IsInf(sErr1, 1) {
-				h *= in.Ctrl.AlphaMin
-			} else {
-				h = in.Ctrl.NewStepSize(h, sErr1, 2) // p^ = 1 for the 2(1) pair
-			}
-			validatorRejectedLast = false
+			h = in.Ctrl.RejectStepSize(h, sErr1, 2) // p^ = 1 for the 2(1) pair
 			continue
 		}
 
-		if in.Validator != nil {
-			// K2 = f(t+h, xProp) by stiff accuracy: free FProp.
-			ctx := ode.NewCheckContext(in.Stats.Steps, in.t, h, in.x, in.x, in.xProp, in.errVec,
-				sErr1, in.weights, in.hist, &in.Ctrl, nil, validatorRejectedLast, in.k2, in.sys)
-			switch in.Validator.Validate(ctx) {
-			case ode.VerdictReject:
-				in.Stats.RejectedValidator++
-				validatorRejectedLast = true
-				continue // same step size, clean recomputation
-			case ode.VerdictFPRescue:
-				in.Stats.FPRescues++
-			}
+		switch chk.Verdict {
+		case ode.VerdictReject:
+			in.Stats.RejectedValidator++
+			continue // same step size, clean recomputation
+		case ode.VerdictFPRescue:
+			in.Stats.FPRescues++
 		}
 
 		in.t += h

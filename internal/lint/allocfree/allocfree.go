@@ -37,11 +37,12 @@ var Analyzer = &analysis.Analyzer{
 // funcs designates the hot-path functions, as qualified names: pkgpath.Func
 // for functions, pkgpath.Type.Method for methods (pointer receivers drop
 // the *). The default set is the per-step path of the protected integrator.
-var funcs = "repro/internal/core.DoubleCheck.Validate," +
+var funcs = "repro/internal/control.CheckContext.FProp," +
+	"repro/internal/control.Engine.Decide," +
+	"repro/internal/core.DoubleCheck.Validate," +
 	"repro/internal/la.FirstDerivativeWeightsInto," +
 	"repro/internal/la.LagrangeWeightsInto," +
 	"repro/internal/ode.BDFEstimator.Estimate," +
-	"repro/internal/ode.CheckContext.FProp," +
 	"repro/internal/ode.Integrator.Step," +
 	"repro/internal/ode.LIPEstimator.Estimate," +
 	"repro/internal/ode.Stepper.Trial," +

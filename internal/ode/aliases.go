@@ -1,0 +1,83 @@
+package ode
+
+import (
+	"repro/internal/control"
+	"repro/internal/la"
+)
+
+// The building blocks of the protected step — the system/tableau vocabulary,
+// the classic controller, the solution history, and the validator seam — are
+// implemented once in internal/control; this package re-exports them so
+// solver code and its callers keep their established names. The aliases are
+// true type identities: an ode.Validator IS a control.Validator, so the
+// detectors in internal/core and the control.Registry factories plug into
+// every integrator without conversion.
+
+// System, Func, CountingSystem, and StageHook name the right-hand-side
+// vocabulary shared by all solvers.
+type (
+	System         = control.System
+	Func           = control.Func
+	CountingSystem = control.CountingSystem
+	StageHook      = control.StageHook
+)
+
+// Controller is the classic adaptive step controller (§III-B).
+type Controller = control.Controller
+
+// DefaultController returns the paper's controller settings with the given
+// tolerances.
+func DefaultController(tolA, tolR float64) Controller {
+	return control.DefaultController(tolA, tolR)
+}
+
+// History is the ring buffer of recently accepted solutions.
+type History = control.History
+
+// NewHistory returns a ring holding up to depth accepted solutions of
+// dimension m.
+func NewHistory(depth, m int) *History { return control.NewHistory(depth, m) }
+
+// Tableau is an explicit embedded Runge-Kutta pair in Butcher form; the
+// named pairs (HeunEuler, BogackiShampine, ...) are constructed in
+// tableau.go.
+type Tableau = control.Tableau
+
+// TrialResult is the outcome of one trial step before any accept/reject
+// decision.
+type TrialResult = control.TrialResult
+
+// Verdict is a Validator's decision about a controller-accepted trial step.
+type Verdict = control.Verdict
+
+// The verdicts.
+const (
+	VerdictAccept   = control.VerdictAccept
+	VerdictReject   = control.VerdictReject
+	VerdictFPRescue = control.VerdictFPRescue
+)
+
+// Validator double-checks trial steps the classic controller accepted.
+type Validator = control.Validator
+
+// CheckContext gives a Validator the full view of a controller-accepted
+// trial step.
+type CheckContext = control.CheckContext
+
+// NewCheckContext assembles a context for integrators defined outside this
+// package (e.g. the implicit solvers in internal/implicit) so they can
+// reuse the same Validator implementations. fprop, when non-nil, supplies
+// f(T+H, XProp) directly (stiffly accurate implicit methods get it for
+// free); otherwise FProp falls back to one evaluation of sys.
+func NewCheckContext(stepIndex int, t, h float64, xStart, xStored, xProp, errVec la.Vec,
+	sErr1 float64, weights la.Vec, hist *History, ctrl *Controller, tab *Tableau,
+	recomputation bool, fprop la.Vec, sys System) *CheckContext {
+	return control.NewCheckContext(stepIndex, t, h, xStart, xStored, xProp, errVec,
+		sErr1, weights, hist, ctrl, tab, recomputation, fprop, sys)
+}
+
+// FixedValidator inspects a completed fixed-step trial (§VII-C).
+type FixedValidator = control.FixedValidator
+
+// FixedCheckContext is the fixed-step analog of CheckContext.
+type FixedCheckContext = control.FixedCheckContext

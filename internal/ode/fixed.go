@@ -6,23 +6,6 @@ import (
 	"repro/internal/la"
 )
 
-// FixedValidator inspects a completed fixed-step trial and decides whether
-// to accept it or to ask for a recomputation (rollback-and-retry, the
-// correction model of the fixed-solver detectors AID and Hot Rode, §VII-C).
-type FixedValidator interface {
-	ValidateFixed(c *FixedCheckContext) bool
-}
-
-// FixedCheckContext is the fixed-step analog of CheckContext.
-type FixedCheckContext struct {
-	StepIndex     int
-	T, H          float64
-	XStart, XProp la.Vec
-	ErrVec        la.Vec // embedded error estimate (still available to detectors)
-	Hist          *History
-	Recomputation bool
-}
-
 // FixedIntegrator advances a system with a constant step size; there is no
 // error control, only the optional validator's accept/recompute loop.
 type FixedIntegrator struct {

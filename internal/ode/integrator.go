@@ -5,141 +5,10 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/control"
 	"repro/internal/la"
 	"repro/internal/telemetry"
 )
-
-// Verdict is a Validator's decision about a controller-accepted trial step.
-type Verdict int
-
-const (
-	// VerdictAccept validates the step.
-	VerdictAccept Verdict = iota
-	// VerdictReject asks the integrator to recompute the step with the same
-	// step size (so that a clean recomputation reproduces the identical
-	// scaled error, enabling false-positive self-detection).
-	VerdictReject
-	// VerdictFPRescue accepts the step because the validator recognized its
-	// own previous rejection as a false positive (Algorithm 1's
-	// SErr_1 == lastSErr branch). Counted separately in the statistics.
-	VerdictFPRescue
-)
-
-// Validator double-checks trial steps that the classic adaptive controller
-// already accepted (SErr_1 <= 1). This is the seam where the paper's
-// contribution (internal/core) plugs into the solver.
-type Validator interface {
-	Validate(c *CheckContext) Verdict
-}
-
-// CheckContext gives a Validator the full view of a controller-accepted
-// trial step. Vector fields are views valid only during the Validate call.
-type CheckContext struct {
-	StepIndex int     // index of the step under construction (0-based)
-	T         float64 // time at the start of the step
-	H         float64 // trial step size; the proposed solution lives at T+H
-	XStart    la.Vec  // state the trial actually read (may carry a state SDC)
-	XStored   la.Vec  // the stored solution at T (a replica's independent copy)
-	XProp     la.Vec  // proposed solution
-	ErrVec    la.Vec  // the embedded error estimate vector x - x~
-	SErr1     float64 // the classic controller's scaled error
-	Weights   la.Vec  // componentwise error level Err (TolA + TolR|x|)
-	Hist      *History
-	Ctrl      *Controller
-	Tab       *Tableau
-	// Recomputation is true when the immediately preceding trial of this
-	// same step was rejected by the Validator (not by the controller), so
-	// the current trial reran with an identical step size.
-	Recomputation bool
-
-	integ      *Integrator
-	extSys     System
-	fsalFProp  la.Vec
-	fProp      la.Vec
-	fPropDone  bool
-	fPropInjs  int
-	fPropEvals int
-
-	// Observability report filled in by the Validator via ReportCheck.
-	checkSErr2    float64
-	checkQ        int
-	checkC        int
-	checkReported bool
-}
-
-// ReportCheck lets a Validator expose the internals of the double-check it
-// just performed — the second scaled estimate SErr_2 and Algorithm 1's
-// order-adaptation state (current order q and checks c since the last
-// order selection) — so the integrator's tracer can record them. Pass
-// sErr2 < 0 when no second estimate was computed (e.g. a false-positive
-// rescue), and q or c as -1 when the detector has no such state.
-func (c *CheckContext) ReportCheck(sErr2 float64, q, checksInWindow int) {
-	c.checkSErr2, c.checkQ, c.checkC = sErr2, q, checksInWindow
-	c.checkReported = true
-}
-
-// CheckReport returns the values of the last ReportCheck call, with
-// ok = false when the Validator reported nothing.
-func (c *CheckContext) CheckReport() (sErr2 float64, q, checksInWindow int, ok bool) {
-	return c.checkSErr2, c.checkQ, c.checkC, c.checkReported
-}
-
-// NewCheckContext assembles a context for integrators defined outside this
-// package (e.g. the implicit solvers in internal/implicit) so they can
-// reuse the same Validator implementations. fprop, when non-nil, supplies
-// f(T+H, XProp) directly (stiffly accurate implicit methods get it for
-// free); otherwise FProp falls back to one evaluation of sys.
-func NewCheckContext(stepIndex int, t, h float64, xStart, xStored, xProp, errVec la.Vec,
-	sErr1 float64, weights la.Vec, hist *History, ctrl *Controller, tab *Tableau,
-	recomputation bool, fprop la.Vec, sys System) *CheckContext {
-	return &CheckContext{
-		StepIndex: stepIndex,
-		T:         t, H: h,
-		XStart: xStart, XStored: xStored, XProp: xProp, ErrVec: errVec,
-		SErr1: sErr1, Weights: weights,
-		Hist: hist, Ctrl: ctrl, Tab: tab,
-		Recomputation: recomputation,
-		fsalFProp:     fprop,
-		extSys:        sys,
-	}
-}
-
-// FPropEvals reports how many fresh evaluations FProp performed (0 or 1).
-func (c *CheckContext) FPropEvals() int { return c.fPropEvals }
-
-// FProp returns f(T+H, XProp), the right-hand side at the proposed solution
-// needed by the integration-based double-checking. For FSAL pairs it is the
-// last stage and free; otherwise it is evaluated once, cached, exposed to
-// the stage hook (as pseudo-stage index Tab.Stages()), and reused as the
-// first stage of the next step if the step is accepted — the paper's
-// "no extra computation when the step is accepted" property.
-func (c *CheckContext) FProp() la.Vec {
-	if c.fsalFProp != nil {
-		return c.fsalFProp
-	}
-	if !c.fPropDone {
-		if c.fProp == nil {
-			//lint:allow allocfree -- one-time scratch for non-FSAL pairs: sized on the first check, reused forever after
-			c.fProp = la.NewVec(len(c.XProp))
-		}
-		switch {
-		case c.integ != nil:
-			in := c.integ
-			in.sys.Eval(c.T+c.H, c.XProp, c.fProp)
-			c.fPropEvals++
-			if in.Hook != nil {
-				c.fPropInjs += in.Hook(c.Tab.Stages(), c.T+c.H, c.fProp)
-			}
-		case c.extSys != nil:
-			c.extSys.Eval(c.T+c.H, c.XProp, c.fProp)
-			c.fPropEvals++
-		default:
-			panic("ode: CheckContext has no way to evaluate FProp")
-		}
-		c.fPropDone = true
-	}
-	return c.fProp
-}
 
 // Trial reports one trial step to the OnTrial observer. Vector fields are
 // views valid only during the callback.
@@ -272,8 +141,9 @@ type Integrator struct {
 	xTrialBuf      la.Vec  // transient state copy for StateHook corruption
 	sErrPrev       float64 // previous accepted scaled error (PI controller)
 	trial          Trial   // per-trial observer record, reused across trials
-	ctxBuf         CheckContext
-	fPropBuf       la.Vec // persistent FProp storage for the reused ctxBuf
+	// engine is the shared protected-step pipeline (classic test + validator
+	// double-check); it owns the CheckContext scratch and FProp buffer.
+	engine control.Engine
 
 	weights la.Vec
 	Stats   Stats
@@ -336,14 +206,13 @@ func (in *Integrator) Init(sys System, t0, tEnd float64, x0 la.Vec, h0 float64) 
 	if len(in.fNext) != m {
 		in.fNext = la.NewVec(m)
 		in.xTrialBuf = la.NewVec(m)
-		in.fPropBuf = la.NewVec(m)
 		in.weights = la.NewVec(m)
 	}
 	in.haveFNext = false
 	in.fNextCorrupted = false
 	in.sErrPrev = 0
 	in.trial = Trial{}
-	in.ctxBuf = CheckContext{}
+	in.engine.Reset(m)
 	in.hist.Push(t0, 0, in.x)
 	in.Stats = Stats{}
 }
@@ -373,7 +242,8 @@ func (in *Integrator) Step() error {
 	if in.t+h > in.tEnd {
 		h = in.tEnd - in.t
 	}
-	validatorRejectedLast := false
+	in.engine.Validator = in.Validator
+	in.engine.BeginStep()
 	for attempt := 1; ; attempt++ {
 		if attempt > in.MaxTrials {
 			return ErrTooManyTrials
@@ -399,14 +269,13 @@ func (in *Integrator) Step() error {
 		in.Stats.Evals += int64(res.Evals)
 		in.Stats.Injections += int64(res.Injections)
 
-		bad := res.XProp.HasNaNOrInf() || res.ErrVec.HasNaNOrInf()
-		var sErr1 float64
-		if bad {
-			sErr1 = math.Inf(1)
-		} else {
-			in.Ctrl.Weights(in.weights, res.XProp)
-			sErr1 = in.Ctrl.ScaledError(res.ErrVec, in.weights)
-		}
+		// The shared protected-step pipeline: classic test, then the
+		// validator double-check with the engine-owned CheckContext.
+		chk := in.engine.Decide(&in.Ctrl, in.Stats.Steps, in.t, h,
+			xTrial, in.x, res.XProp, res.ErrVec, in.weights,
+			in.hist, in.Tab, in.sys, in.Hook, res.FProp)
+		sErr1 := chk.SErr1
+		in.Stats.Evals += int64(chk.FPropEvals)
 
 		// The trial record lives on the integrator so taking its address
 		// for OnTrial does not allocate per trial.
@@ -418,48 +287,23 @@ func (in *Integrator) Step() error {
 			Injections:          res.Injections,
 			StateInjections:     stateInj,
 			InheritedCorruption: in.haveFNext && in.fNextCorrupted,
-			SErr2:               -1,
-			DetOrder:            -1,
-			DetWindow:           -1,
+			EstimateInjections:  chk.EstimateInjections,
+			ClassicReject:       chk.ClassicReject,
+			SErr2:               chk.SErr2,
+			DetOrder:            chk.DetOrder,
+			DetWindow:           chk.DetWindow,
 			Significance:        telemetry.SigUnknown,
 		}
 		trial := &in.trial
-
-		var ctx *CheckContext
-		verdict := VerdictAccept
-		if sErr1 > 1 || math.IsNaN(sErr1) {
-			trial.ClassicReject = true
-		} else if in.Validator != nil {
-			// ctxBuf is integrator-owned scratch; fPropBuf persists across
-			// trials so FProp never reallocates its storage.
-			in.ctxBuf = CheckContext{
-				StepIndex: in.Stats.Steps,
-				T:         in.t, H: h,
-				XStart: xTrial, XStored: in.x, XProp: res.XProp, ErrVec: res.ErrVec,
-				SErr1: sErr1, Weights: in.weights,
-				Hist: in.hist, Ctrl: &in.Ctrl, Tab: in.Tab,
-				Recomputation: validatorRejectedLast,
-				integ:         in,
-				fsalFProp:     res.FProp,
-				fProp:         in.fPropBuf,
-			}
-			ctx = &in.ctxBuf
-			verdict = in.Validator.Validate(ctx)
-			trial.EstimateInjections = ctx.fPropInjs
-			in.Stats.Evals += int64(ctx.fPropEvals)
-			if sErr2, q, cWin, ok := ctx.CheckReport(); ok {
-				trial.SErr2, trial.DetOrder, trial.DetWindow = sErr2, q, cWin
-			}
-			switch verdict {
-			case VerdictReject:
-				trial.ValidatorReject = true
-			case VerdictFPRescue:
-				trial.FPRescue = true
-				in.Stats.FPRescues++
-			}
+		switch chk.Verdict {
+		case VerdictReject:
+			trial.ValidatorReject = true
+		case VerdictFPRescue:
+			trial.FPRescue = true
+			in.Stats.FPRescues++
 		}
 
-		accepted := !trial.ClassicReject && !trial.ValidatorReject
+		accepted := chk.Accepted()
 		trial.Accepted = accepted
 		if in.OnTrial != nil {
 			in.OnTrial(trial)
@@ -482,10 +326,10 @@ func (in *Integrator) Step() error {
 				in.fNext.CopyFrom(res.FProp)
 				in.haveFNext = true
 				lastInj = res.LastStageInjections
-			case ctx != nil && ctx.fPropDone:
-				in.fNext.CopyFrom(ctx.fProp)
+			case chk.FProp != nil:
+				in.fNext.CopyFrom(chk.FProp)
 				in.haveFNext = true
-				lastInj = ctx.fPropInjs
+				lastInj = chk.EstimateInjections
 			default:
 				in.haveFNext = false
 			}
@@ -504,12 +348,7 @@ func (in *Integrator) Step() error {
 
 		if trial.ClassicReject {
 			in.Stats.RejectedClassic++
-			if math.IsInf(sErr1, 1) {
-				h *= in.Ctrl.AlphaMin
-			} else {
-				h = in.Ctrl.NewStepSize(h, sErr1, in.Tab.ControlOrder())
-			}
-			validatorRejectedLast = false
+			h = in.Ctrl.RejectStepSize(h, sErr1, in.Tab.ControlOrder())
 		} else {
 			// Validator rejection: recompute with the same step size so a
 			// clean recomputation reproduces the identical SErr_1. The
@@ -519,7 +358,6 @@ func (in *Integrator) Step() error {
 			// false-positive self-detection is unaffected).
 			in.Stats.RejectedValidator++
 			in.haveFNext = false
-			validatorRejectedLast = true
 		}
 	}
 }

@@ -1,10 +1,15 @@
 package ode
 
-import "repro/internal/la"
+import (
+	"repro/internal/control"
+	"repro/internal/la"
+)
 
 // Stepper computes trial steps of one embedded Runge-Kutta pair. It owns the
 // stage storage so repeated trials allocate nothing. A Stepper is not safe
-// for concurrent use; distributed ranks each own one.
+// for concurrent use; distributed ranks each own one. It is the explicit-RK
+// control.Trialer: the shared protected-step pipeline and the redundancy
+// validators replay trials through that interface.
 type Stepper struct {
 	Tab *Tableau
 	sys System
@@ -37,20 +42,9 @@ func NewStepper(tab *Tableau, sys System) *Stepper {
 	return s
 }
 
-// TrialResult is the outcome of one trial step before any accept/reject
-// decision. The vectors are views into the stepper's buffers: they are valid
-// until the next Trial call and must be copied to be retained.
-type TrialResult struct {
-	XProp      la.Vec // proposed solution x_{n+1}
-	ErrVec     la.Vec // embedded LTE estimate x_{n+1} - x~_{n+1}
-	FProp      la.Vec // f(t+h, x_{n+1}) when the pair is FSAL, else nil
-	Injections int    // corruptions applied by the stage hook during this trial
-	// LastStageInjections counts corruptions of the final stage alone; for
-	// FSAL pairs that stage is reused as the next step's first stage, so its
-	// corruption propagates across the step boundary.
-	LastStageInjections int
-	Evals               int // fresh right-hand-side evaluations performed
-}
+// Stepper satisfies control.Trialer, so the shared protected-step pipeline
+// and the redundancy validators can replay trials through the interface.
+var _ control.Trialer = (*Stepper)(nil)
 
 // Trial computes one trial step from (t, x) with step size h.
 //

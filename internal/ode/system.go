@@ -10,50 +10,10 @@
 //
 // The package deliberately exposes the raw mechanics (trial steps, stage
 // hooks, validators) so the fault-injection harness can corrupt stage
-// evaluations and the detectors in internal/core can veto acceptances.
+// evaluations and the detectors in internal/core can veto acceptances. The
+// protected-step decision itself — classic test, validator double-check,
+// Algorithm 1 order policy — lives in internal/control; this package
+// re-exports the shared vocabulary (see aliases.go) and contributes the
+// explicit-RK Stepper/Trialer and the integrators built on the control
+// pipeline.
 package ode
-
-import "repro/internal/la"
-
-// System is an initial-value problem right-hand side x'(t) = f(t, x).
-type System interface {
-	// Dim returns the dimension m of the state vector.
-	Dim() int
-	// Eval computes dst = f(t, x). dst and x never alias.
-	Eval(t float64, x la.Vec, dst la.Vec)
-}
-
-// Func adapts a plain function to the System interface.
-type Func struct {
-	N int
-	F func(t float64, x la.Vec, dst la.Vec)
-}
-
-// Dim implements System.
-func (f Func) Dim() int { return f.N }
-
-// Eval implements System.
-func (f Func) Eval(t float64, x la.Vec, dst la.Vec) { f.F(t, x, dst) }
-
-// CountingSystem wraps a System and counts right-hand-side evaluations;
-// the computational-overhead experiments (Table IV) compare these counts.
-type CountingSystem struct {
-	Sys   System
-	Evals int64
-}
-
-// Dim implements System.
-func (c *CountingSystem) Dim() int { return c.Sys.Dim() }
-
-// Eval implements System.
-func (c *CountingSystem) Eval(t float64, x la.Vec, dst la.Vec) {
-	c.Evals++
-	c.Sys.Eval(t, x, dst)
-}
-
-// StageHook is invoked after each stage derivative K_i has been computed
-// during a trial step; k may be mutated in place (that is how SDC injection
-// corrupts function evaluations). stage is the zero-based stage index, t the
-// stage abscissa. The returned count reports how many corruptions were
-// applied (0 for a benign observer).
-type StageHook func(stage int, t float64, k la.Vec) int
