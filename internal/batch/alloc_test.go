@@ -1,0 +1,69 @@
+package batch_test
+
+import (
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/ode"
+)
+
+// The lockstep round is campaign hot path: after warmup it must allocate
+// nothing — not per round, not per lane, not per stage. The same guard
+// runs machine-independently in the sdcperf gate; this is the unit-level
+// pin with a precise blame radius.
+
+func TestRoundAllocationFree(t *testing.T) {
+	p := testProblem()
+	const width = 8
+	bi := batch.New(batch.Config{
+		Tab: ode.HeunEuler(), Ctrl: ode.DefaultController(p.TolA, p.TolR),
+		MaxSteps: 1 << 18, MaxStep: p.MaxStep,
+	}, width, len(p.X0))
+	seed := func() {
+		bi.Reset()
+		for i := 0; i < width; i++ {
+			bi.AddLane(batch.LaneConfig{
+				Sys: p.SysInstance(),
+				T0:  p.T0, TEnd: p.TEnd, X0: p.X0, H0: p.H0,
+			})
+		}
+	}
+	seed()
+	for i := 0; i < 50 && bi.Live() > 0; i++ {
+		bi.Round() // warm every lazily grown buffer
+	}
+	seed()
+	if n := testing.AllocsPerRun(100, func() {
+		if bi.Live() == 0 {
+			seed()
+		}
+		bi.Round()
+	}); n != 0 {
+		t.Fatalf("warm lockstep Round allocates %v times per call, want 0", n)
+	}
+}
+
+// AddLane on a warm pool (same shapes) must also be allocation-free: the
+// campaign engines call it per replicate, width times per group.
+func TestAddLaneRecycleAllocationFree(t *testing.T) {
+	p := testProblem()
+	const width = 4
+	bi := batch.New(batch.Config{
+		Tab: ode.HeunEuler(), Ctrl: ode.DefaultController(p.TolA, p.TolR),
+		MaxSteps: 1 << 18, MaxStep: p.MaxStep,
+	}, width, len(p.X0))
+	sys := p.SysInstance()
+	lc := batch.LaneConfig{Sys: sys, T0: p.T0, TEnd: p.TEnd, X0: p.X0, H0: p.H0}
+	bi.Reset()
+	for i := 0; i < width; i++ {
+		bi.AddLane(lc)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		bi.Reset()
+		for i := 0; i < width; i++ {
+			bi.AddLane(lc)
+		}
+	}); n != 0 {
+		t.Fatalf("warm AddLane allocates %v times per Reset+fill, want 0", n)
+	}
+}

@@ -1,0 +1,102 @@
+package batch
+
+import "repro/internal/la"
+
+// This file holds the structure-of-arrays inner loops of the lockstep round.
+// Each loop walks contiguous rows of the [dim][width] trial state, so the
+// compiler can vectorize across the batch; the per-lane arithmetic inside is
+// shaped exactly like the serial stepper's (the AXPY coefficient h*a is
+// formed per lane first, then multiplied in), so each lane's floating-point
+// stream is bit-identical to a serial integration of that replicate.
+
+// trialRound computes one trial step for every live lane: the batched analog
+// of ode.Stepper.Trial. Stage states and the proposed-solution/error-estimate
+// accumulation run as dense row loops over all lanes; the right-hand-side
+// evaluations and injection hooks remain per lane (each lane owns its system
+// and its RNG stream), gathered and scattered at the column boundary.
+func (b *Integrator) trialRound() {
+	tab := b.cfg.Tab
+	stages := tab.Stages()
+	w := b.width
+	for i := 0; i < stages; i++ {
+		// xtmp = xs + h * sum_j a_ij K_j, for all lanes at once. Stage 0 has
+		// an empty A row, so this is just the copy the serial path does.
+		copy(b.xtmp, b.xs)
+		for j, a := range tab.A[i] {
+			if a != 0 {
+				b.accum(b.xtmp, b.k[j], a)
+			}
+		}
+		last := i == stages-1
+		for s := 0; s < b.n; s++ {
+			ln := b.lanes[s]
+			if i == 0 && ln.haveFNext {
+				// Reused first stage: its cached value was scattered into
+				// k[0] by load; it is not re-presented to the hook.
+				continue
+			}
+			st := ln.t + tab.C[i]*ln.hEff
+			gatherCol(b.evalX, b.xtmp, s, b.dim, w)
+			ln.cfg.Sys.Eval(st, b.evalX, b.evalK)
+			ln.resEvals++
+			if ln.cfg.Hook != nil {
+				nInj := ln.cfg.Hook(i, st, b.evalK)
+				ln.resInjections += nInj
+				if last {
+					ln.resLastInj += nInj
+				}
+			}
+			scatterCol(b.k[i], b.evalK, s, b.dim, w)
+		}
+	}
+	// xprop = xs + h * sum b_i K_i ; errv = h * sum (b_i - bhat_i) K_i.
+	copy(b.xprop, b.xs)
+	ev := b.errv
+	for d := range ev {
+		ev[d] = 0
+	}
+	for i := 0; i < stages; i++ {
+		if tab.B[i] != 0 {
+			b.accum(b.xprop, b.k[i], tab.B[i])
+		}
+		if b.db[i] != 0 {
+			b.accum(b.errv, b.k[i], b.db[i])
+		}
+	}
+}
+
+// accum performs the batched AXPY dst[d][s] += (h_s * coef) * k[d][s] over
+// the live slots. The per-lane coefficient h_s*coef is formed first — one
+// multiply, exactly like the serial `AXPY(h*a, K)` — so the per-element
+// arithmetic matches the serial stepper operation for operation.
+func (b *Integrator) accum(dst, k []float64, coef float64) {
+	w, n := b.width, b.n
+	al := b.alphas[:n]
+	he := b.heffs[:n]
+	for s := range al {
+		al[s] = he[s] * coef
+	}
+	for d := 0; d < b.dim; d++ {
+		dr := dst[d*w : d*w+n]
+		kr := k[d*w : d*w+n]
+		for s := range dr {
+			dr[s] += al[s] * kr[s]
+		}
+	}
+}
+
+// gatherCol copies slot s's column of the row-major [dim][w] buffer src into
+// the dense per-lane vector dst.
+func gatherCol(dst la.Vec, src []float64, s, dim, w int) {
+	for d := 0; d < dim; d++ {
+		dst[d] = src[d*w+s]
+	}
+}
+
+// scatterCol copies the dense per-lane vector src into slot s's column of
+// the row-major [dim][w] buffer dst.
+func scatterCol(dst []float64, src la.Vec, s, dim, w int) {
+	for d := 0; d < dim; d++ {
+		dst[d*w+s] = src[d]
+	}
+}

@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/ode"
+	"repro/internal/xrand"
+)
+
+// This file holds the batched campaign engines (Config.Batch >= 2): groups
+// of consecutive replicates run as lanes of one lockstep structure-of-arrays
+// batch (internal/batch) instead of one at a time through the serial
+// integrator. Replicate wiring (wireReplicate), substream draws (nextJob, in
+// replicate order), outcome accounting (collectOutcome), and the merge-time
+// stopping rule are all shared with the serial engines, and the lockstep
+// engine itself is lane-by-lane bitwise identical to the serial integrator,
+// so every (Workers, Batch) pair produces the same Canonical Result — a
+// guarantee the oracle-differential suite enforces against the committed
+// serial goldens.
+
+// batchScratch is a worker-owned arena for the batched engines: the
+// lockstep integrator (recycled while the cell's shape is unchanged) and
+// one laneScratch + wiring slot per lane.
+type batchScratch struct {
+	bi    *batch.Integrator
+	lanes []laneScratch
+	wires []repWiring
+	refs  []*batch.Lane
+}
+
+// runBatchGroup runs len(jobs) consecutive replicates (len(jobs) <= the
+// configured batch width) as lanes of one lockstep batch, filling outs with
+// their outcomes. Group wall time is attributed evenly across the lanes —
+// lanes execute interleaved, so no sharper per-replicate timing exists.
+func runBatchGroup(cfg *Config, jobs []repJob, scr *batchScratch, outs []repOutcome) {
+	//lint:allow walltime -- per-replicate wall time feeds the §VI-B overhead ratio, never the deterministic outputs
+	groupStart := time.Now()
+	p := cfg.Problem
+	width := cfg.batch()
+	dim := len(p.X0)
+	ctrl := ode.DefaultController(p.TolA, p.TolR)
+	ctrl.MaxNorm = cfg.MaxNorm
+	bcfg := batch.Config{
+		Tab:               cfg.Tab,
+		Ctrl:              ctrl,
+		MaxSteps:          1 << 18,
+		MaxStep:           p.MaxStep,
+		NoReuseFirstStage: cfg.NoReuseFirstStage,
+	}
+	if scr.bi == nil || !scr.bi.Matches(bcfg, width, dim) {
+		scr.bi = batch.New(bcfg, width, dim)
+		scr.lanes = make([]laneScratch, width)
+		scr.wires = make([]repWiring, width)
+		scr.refs = make([]*batch.Lane, width)
+	}
+	bi := scr.bi
+	bi.Reset()
+
+	n := len(jobs)
+	for i := 0; i < n; i++ {
+		outs[i] = repOutcome{}
+		w, err := wireReplicate(cfg, jobs[i], &scr.lanes[i], &outs[i])
+		if err != nil {
+			// Wiring fails only on configuration-level errors (an unknown
+			// detector), which would fail every lane identically.
+			for j := i; j < n; j++ {
+				outs[j] = repOutcome{err: err}
+			}
+			return
+		}
+		scr.wires[i] = w
+		scr.refs[i] = bi.AddLane(batch.LaneConfig{
+			Sys:       w.sys,
+			Validator: w.validator,
+			Hook:      w.hook,
+			StateHook: w.stateHook,
+			OnTrial:   w.onTrial,
+			Tracer:    w.tracer,
+			T0:        p.T0, TEnd: p.TEnd,
+			X0: p.X0, H0: p.H0,
+		})
+	}
+	bi.Run()
+	//lint:allow walltime -- per-replicate wall time feeds the §VI-B overhead ratio, never the deterministic outputs
+	per := time.Since(groupStart).Seconds() / float64(n)
+	for i := 0; i < n; i++ {
+		ln := scr.refs[i]
+		collectOutcome(&outs[i], scr.wires[i], ln.Err(), ln.Stats(), per)
+	}
+}
+
+// runSerialBatched is the one-worker batched engine: groups of Batch
+// consecutive replicates run in lockstep, and outcomes merge in replicate
+// order under the serial stopping rule. Like a parallel wave, a group may
+// overshoot the injection target; the excess replicates are discarded at
+// merge, exactly as the serial engine would never have run them.
+func runSerialBatched(cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns int) error {
+	width := cfg.batch()
+	var scr batchScratch
+	jobs := make([]repJob, width)
+	outs := make([]repOutcome, width)
+	for next := 0; next < maxRuns && res.Rates.Injections < minInj; next += width {
+		n := width
+		if next+n > maxRuns {
+			n = maxRuns - next
+		}
+		for i := 0; i < n; i++ {
+			jobs[i] = nextJob(cfg, root, next+i)
+		}
+		runBatchGroup(cfg, jobs[:n], &scr, outs[:n])
+		for i := range outs[:n] {
+			if res.Rates.Injections >= minInj {
+				break // overshoot: the serial engine would have stopped here
+			}
+			if outs[i].err != nil {
+				return outs[i].err
+			}
+			m.merge(res, outs[i])
+		}
+	}
+	return nil
+}
+
+// runParallelBatched composes batching with the worker pool: waves of
+// waveFactor*workers groups (each group Batch consecutive replicates) are
+// dispatched group-at-a-time to workers, each of which steps its own
+// lockstep batch. The wave scheduling, substream draw order, and merge-time
+// stopping rule are exactly runParallel's — only the per-group execution
+// engine differs.
+func runParallelBatched(cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns, workers int) error {
+	width := cfg.batch()
+	waveReps := waveFactor * workers * width
+	scratch := make([]batchScratch, workers)
+	jobs := make([]repJob, waveReps)
+	outs := make([]repOutcome, waveReps)
+	for next := 0; next < maxRuns && res.Rates.Injections < minInj; next += waveReps {
+		n := waveReps
+		if next+n > maxRuns {
+			n = maxRuns - next
+		}
+		for i := 0; i < n; i++ {
+			jobs[i] = nextJob(cfg, root, next+i)
+		}
+		groups := (n + width - 1) / width
+
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				labels := pprof.Labels(
+					"campaign-worker", strconv.Itoa(w),
+					"detector", string(cfg.Detector))
+				pprof.Do(context.Background(), labels, func(context.Context) {
+					for g := range idx {
+						lo := g * width
+						hi := lo + width
+						if hi > n {
+							hi = n
+						}
+						runBatchGroup(cfg, jobs[lo:hi], &scratch[w], outs[lo:hi])
+					}
+				})
+			}(w)
+		}
+		for g := 0; g < groups; g++ {
+			idx <- g
+		}
+		close(idx)
+		wg.Wait()
+
+		for i := range outs[:n] {
+			if res.Rates.Injections >= minInj {
+				break // overshoot: the serial engine would have stopped here
+			}
+			if outs[i].err != nil {
+				return outs[i].err
+			}
+			m.merge(res, outs[i])
+		}
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	// the aid/hotrode fixed-step detectors.
 	_ "repro/internal/core"
 	"repro/internal/inject"
+	"repro/internal/la"
 	"repro/internal/ode"
 	"repro/internal/problems"
 	"repro/internal/stats"
@@ -106,6 +107,17 @@ type Config struct {
 	// state, and are merged back in replicate order.
 	Workers int
 
+	// Batch sets the lockstep lane width within one worker: values >= 2
+	// advance that many replicates simultaneously through the
+	// structure-of-arrays engine of internal/batch (0 or 1 runs the serial
+	// per-replicate integrator, the default and the oracle). Batching
+	// composes with Workers — each worker steps its own batch; wave
+	// scheduling across workers is unchanged — and changes no campaign
+	// number: the lockstep engine is bitwise identical to the serial
+	// integrator lane by lane, so every (Workers, Batch) pair produces the
+	// same Canonical Result, trace, and metrics.
+	Batch int
+
 	// Trace enables the step tracer: every trial of every replicate emits
 	// one telemetry.StepEvent (stamped with its replicate index, detector
 	// kind, and injection ground truth) into Result.Trace. Tracing is
@@ -143,6 +155,13 @@ func (c *Config) workers() int {
 		return 1
 	}
 	return c.Workers
+}
+
+func (c *Config) batch() int {
+	if c.Batch < 2 {
+		return 1
+	}
+	return c.Batch
 }
 
 // Result aggregates a campaign cell's outcome.
@@ -245,10 +264,15 @@ func Run(cfg Config) (*Result, error) {
 
 	var m merger
 	var err error
-	if workers == 1 {
+	switch {
+	case workers == 1 && cfg.batch() == 1:
 		err = runSerial(&cfg, res, &m, root, minInj, maxRuns)
-	} else {
+	case workers == 1:
+		err = runSerialBatched(&cfg, res, &m, root, minInj, maxRuns)
+	case cfg.batch() == 1:
 		err = runParallel(&cfg, res, &m, root, minInj, maxRuns, workers)
+	default:
+		err = runParallelBatched(&cfg, res, &m, root, minInj, maxRuns, workers)
 	}
 	if err != nil {
 		return nil, err
@@ -293,15 +317,27 @@ type repOutcome struct {
 	err        error
 }
 
-// runReplicate integrates the problem once under injection, with every
-// mutable resource (RNG substreams, right-hand side, integrator, detector,
-// shadow stepper, scratch vectors) owned exclusively by this call. The
-// heavy machinery lives in scr, a worker-owned arena recycled across the
-// worker's replicates (see repScratch).
-func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
-	var out repOutcome
-	//lint:allow walltime -- per-replicate wall time feeds the §VI-B overhead ratio, never the deterministic outputs
-	repStart := time.Now()
+// repWiring is everything one replicate's integration needs, built once by
+// wireReplicate and consumed by either the serial integrator or a batch
+// lane. The two engines plug the same wiring into the same fields, so a
+// replicate's behaviour cannot depend on which engine runs it.
+type repWiring struct {
+	sys       *ode.CountingSystem
+	det       control.Detector
+	ctrl      ode.Controller
+	validator ode.Validator
+	hook      ode.StageHook
+	stateHook func(t float64, x la.Vec) int
+	onTrial   func(*ode.Trial)
+	tracer    telemetry.Tracer
+}
+
+// wireReplicate builds one replicate's mutable machinery: injection plans
+// on the job's substreams, the detector instance, the oracle's clean-shadow
+// validator, the significance-labelling OnTrial observer, and the
+// observability attachments (written into out). The heavy buffers live in
+// ls, a per-lane arena recycled across a worker's replicates.
+func wireReplicate(cfg *Config, job repJob, ls *laneScratch, out *repOutcome) (repWiring, error) {
 	p := cfg.Problem
 	sys := p.SysInstance()
 
@@ -316,8 +352,7 @@ func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
 	counting := &ode.CountingSystem{Sys: sys}
 	det, err := makeDetector(cfg.Detector, cfg.Tab, counting, plan, cfg)
 	if err != nil {
-		out.err = err
-		return out
+		return repWiring{}, err
 	}
 
 	ctrl := ode.DefaultController(p.TolA, p.TolR)
@@ -328,31 +363,14 @@ func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
 		sel.Inner = cfg.Injector
 		hook = plan.HookFor(sel)
 	}
-	// Reconfigure the arena's integrator from scratch: every exported field
-	// is assigned (optional hooks explicitly to nil) so nothing leaks from
-	// the previous replicate, while Init recycles the internal buffers.
-	in := scr.integrator()
-	in.Tab = cfg.Tab
-	in.Ctrl = ctrl
-	in.Validator = det.Validator
-	in.Hook = hook
-	in.OnTrial = nil
-	in.Tracer = nil
-	in.StateHook = nil
-	in.MaxSteps = 1 << 18
-	in.MaxTrials = 0
-	in.MinStep = 0
-	in.MaxStep = p.MaxStep
-	in.HistoryDepth = 0
-	in.NoReuseFirstStage = cfg.NoReuseFirstStage
-	in.UsePI = false
+	w := repWiring{sys: counting, det: det, ctrl: ctrl, validator: det.Validator, hook: hook}
 	if statePlan != nil {
-		in.StateHook = statePlan.StateHook
+		w.stateHook = statePlan.StateHook
 	}
 	if cfg.Trace {
 		out.trace = telemetry.NewRecorder(cfg.traceCap())
 		out.trace.SetStamp(job.rep, string(cfg.Detector))
-		in.Tracer = out.trace
+		w.tracer = out.trace
 	}
 	var stepSizes *telemetry.Histogram
 	if cfg.Metrics {
@@ -360,15 +378,15 @@ func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
 		stepSizes = out.metrics.Histogram(MStepSize, telemetry.Log10Edges(-12, 2))
 	}
 
-	shadow := stepperFor(&scr.shadow, cfg.Tab, sys) // clean reference, uncounted
-	cw := vecFor(&scr.cw, sys.Dim())                // clean weights
-	xt := vecFor(&scr.xt, sys.Dim())                // clean approximation solution
+	shadow := stepperFor(&ls.shadow, cfg.Tab, sys) // clean reference, uncounted
+	cw := vecFor(&ls.cw, sys.Dim())                // clean weights
+	xt := vecFor(&ls.xt, sys.Dim())                // clean approximation solution
 
 	if cfg.Detector == Oracle {
-		oxt := vecFor(&scr.oxt, sys.Dim())
-		ocw := vecFor(&scr.ocw, sys.Dim())
-		oshadow := stepperFor(&scr.oshadow, cfg.Tab, sys)
-		in.Validator = oracleValidator(func(c *ode.CheckContext) bool {
+		oxt := vecFor(&ls.oxt, sys.Dim())
+		ocw := vecFor(&ls.ocw, sys.Dim())
+		oshadow := stepperFor(&ls.oshadow, cfg.Tab, sys)
+		w.validator = oracleValidator(func(c *ode.CheckContext) bool {
 			restore := plan.Pause()
 			clean := oshadow.Trial(c.T, c.H, c.XStored, nil, nil)
 			restore()
@@ -379,7 +397,7 @@ func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
 		})
 	}
 
-	in.OnTrial = func(tr *ode.Trial) {
+	w.onTrial = func(tr *ode.Trial) {
 		rejected := tr.ClassicReject || tr.ValidatorReject
 		corrupted := tr.Injections > 0 || tr.StateInjections > 0 || tr.InheritedCorruption
 		if stepSizes != nil && tr.Accepted {
@@ -409,23 +427,27 @@ func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
 		// that produced it.
 		out.rates.Tally(corrupted, rejected, significant, tr.Injections+tr.StateInjections)
 	}
+	return w, nil
+}
 
-	in.Init(counting, p.T0, p.TEnd, p.X0, p.H0)
-	_, runErr := in.Run()
+// collectOutcome folds one finished integration into its repOutcome: the
+// run tally, the counters, and (when enabled) the metric counters. It is
+// shared by the serial and batched engines so the accounting of a replicate
+// cannot depend on which engine ran it.
+func collectOutcome(out *repOutcome, w repWiring, runErr error, st ode.Stats, seconds float64) {
 	out.rates.TallyRun(runErr != nil)
-	out.steps = in.Stats.Steps
-	out.trialSteps = in.Stats.TrialSteps
-	out.evals = counting.Evals
-	out.memVecs = det.MemVectors()
-	out.meanOrder = det.MeanOrder()
-	//lint:allow walltime -- per-replicate wall time feeds the §VI-B overhead ratio, never the deterministic outputs
-	out.seconds = time.Since(repStart).Seconds()
+	out.steps = st.Steps
+	out.trialSteps = st.TrialSteps
+	out.evals = w.sys.Evals
+	out.memVecs = w.det.MemVectors()
+	out.meanOrder = w.det.MeanOrder()
+	out.seconds = seconds
 	if m := out.metrics; m != nil {
-		m.Counter(MSteps).Add(int64(in.Stats.Steps))
-		m.Counter(MTrialSteps).Add(int64(in.Stats.TrialSteps))
-		m.Counter(MRejectedClassic).Add(int64(in.Stats.RejectedClassic))
-		m.Counter(MRejectedValidator).Add(int64(in.Stats.RejectedValidator))
-		m.Counter(MFPRescues).Add(int64(in.Stats.FPRescues))
+		m.Counter(MSteps).Add(int64(st.Steps))
+		m.Counter(MTrialSteps).Add(int64(st.TrialSteps))
+		m.Counter(MRejectedClassic).Add(int64(st.RejectedClassic))
+		m.Counter(MRejectedValidator).Add(int64(st.RejectedValidator))
+		m.Counter(MFPRescues).Add(int64(st.FPRescues))
 		m.Counter(MRHSEvals).Add(out.evals)
 		m.Counter(MInjections).Add(int64(out.rates.Injections))
 		m.Counter(MSigTrials).Add(int64(out.rates.SigTrials))
@@ -434,6 +456,46 @@ func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
 		m.Counter(MDiverged).Add(int64(out.rates.Diverged))
 		m.Histogram(MReplicateSeconds, telemetry.Log10Edges(-6, 4)).Observe(out.seconds)
 	}
+}
+
+// runReplicate integrates the problem once under injection, with every
+// mutable resource (RNG substreams, right-hand side, integrator, detector,
+// shadow stepper, scratch vectors) owned exclusively by this call. The
+// heavy machinery lives in scr, a worker-owned arena recycled across the
+// worker's replicates (see repScratch).
+func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
+	var out repOutcome
+	//lint:allow walltime -- per-replicate wall time feeds the §VI-B overhead ratio, never the deterministic outputs
+	repStart := time.Now()
+	p := cfg.Problem
+	w, err := wireReplicate(cfg, job, &scr.lane, &out)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	// Reconfigure the arena's integrator from scratch: every exported field
+	// is assigned (optional hooks explicitly to nil) so nothing leaks from
+	// the previous replicate, while Init recycles the internal buffers.
+	in := scr.integrator()
+	in.Tab = cfg.Tab
+	in.Ctrl = w.ctrl
+	in.Validator = w.validator
+	in.Hook = w.hook
+	in.OnTrial = w.onTrial
+	in.Tracer = w.tracer
+	in.StateHook = w.stateHook
+	in.MaxSteps = 1 << 18
+	in.MaxTrials = 0
+	in.MinStep = 0
+	in.MaxStep = p.MaxStep
+	in.HistoryDepth = 0
+	in.NoReuseFirstStage = cfg.NoReuseFirstStage
+	in.UsePI = false
+
+	in.Init(w.sys, p.T0, p.TEnd, p.X0, p.H0)
+	_, runErr := in.Run()
+	//lint:allow walltime -- per-replicate wall time feeds the §VI-B overhead ratio, never the deterministic outputs
+	collectOutcome(&out, w, runErr, in.Stats, time.Since(repStart).Seconds())
 	return out
 }
 

@@ -23,7 +23,8 @@ import (
 // sweepArtifact runs one campaign cell and serializes its deterministic
 // outputs into a single byte stream: one JSON line for the canonical result,
 // one JSONL line per trace event, one JSON line for the metrics snapshot.
-func sweepArtifact(t *testing.T, det DetectorKind, workers int) []byte {
+// batch selects the lockstep lane width (0 or 1 = the serial engine).
+func sweepArtifact(t *testing.T, det DetectorKind, workers, batch int) []byte {
 	t.Helper()
 	res, err := Run(Config{
 		Problem:       fastProblem(),
@@ -33,15 +34,16 @@ func sweepArtifact(t *testing.T, det DetectorKind, workers int) []byte {
 		Seed:          20170905,
 		MinInjections: 40,
 		Workers:       workers,
+		Batch:         batch,
 		Trace:         true,
 		TraceCap:      1 << 18,
 		Metrics:       true,
 	})
 	if err != nil {
-		t.Fatalf("%s workers=%d: %v", det, workers, err)
+		t.Fatalf("%s workers=%d batch=%d: %v", det, workers, batch, err)
 	}
 	if res.Trace.Dropped() != 0 {
-		t.Fatalf("%s workers=%d: trace ring dropped %d events; raise TraceCap", det, workers, res.Trace.Dropped())
+		t.Fatalf("%s workers=%d batch=%d: trace ring dropped %d events; raise TraceCap", det, workers, batch, res.Trace.Dropped())
 	}
 	var buf bytes.Buffer
 	canon, err := json.Marshal(res.Canonical())
@@ -68,9 +70,9 @@ func sweepArtifact(t *testing.T, det DetectorKind, workers int) []byte {
 func TestDetectorSweepGolden(t *testing.T) {
 	for _, det := range AllDetectors() {
 		t.Run(string(det), func(t *testing.T) {
-			serial := sweepArtifact(t, det, 1)
+			serial := sweepArtifact(t, det, 1, 0)
 			checkGolden(t, fmt.Sprintf("sweep_%s.golden", det), serial)
-			if par := sweepArtifact(t, det, 4); !bytes.Equal(par, serial) {
+			if par := sweepArtifact(t, det, 4, 0); !bytes.Equal(par, serial) {
 				t.Errorf("workers=4 artifact diverges from serial (%d vs %d bytes)", len(par), len(serial))
 			}
 		})

@@ -60,17 +60,25 @@ func (m *merger) finish(res *Result) {
 	}
 }
 
-// repScratch is a worker-owned arena of the replicate machinery that is
-// expensive to rebuild per run: the integrator (whose Init reuses the stage
-// storage, history ring, and scratch vectors when shapes match), the clean
-// shadow steppers, and the significance-check vectors. Reuse changes no
-// campaign number — every buffer is fully overwritten before it is read —
-// and each scratch is owned by exactly one worker, so the engines stay
-// race-free and bitwise deterministic.
-type repScratch struct {
-	in               *ode.Integrator
+// laneScratch is the per-replicate arena of the wiring machinery that is
+// expensive to rebuild per run: the clean shadow steppers and the
+// significance-check vectors. The serial engine keeps one per worker; the
+// batched engine keeps one per lane slot, because each lane's shadow
+// machinery stays live for the whole interleaved group.
+type laneScratch struct {
 	shadow, oshadow  *ode.Stepper
 	cw, xt, oxt, ocw la.Vec
+}
+
+// repScratch is a worker-owned arena of the replicate machinery that is
+// expensive to rebuild per run: the integrator (whose Init reuses the stage
+// storage, history ring, and scratch vectors when shapes match) and the
+// lane arena. Reuse changes no campaign number — every buffer is fully
+// overwritten before it is read — and each scratch is owned by exactly one
+// worker, so the engines stay race-free and bitwise deterministic.
+type repScratch struct {
+	in   *ode.Integrator
+	lane laneScratch
 }
 
 // integrator returns the arena's integrator, creating it on first use. The

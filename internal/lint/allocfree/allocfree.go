@@ -37,7 +37,13 @@ var Analyzer = &analysis.Analyzer{
 // funcs designates the hot-path functions, as qualified names: pkgpath.Func
 // for functions, pkgpath.Type.Method for methods (pointer receivers drop
 // the *). The default set is the per-step path of the protected integrator.
-var funcs = "repro/internal/control.CheckContext.FProp," +
+var funcs = "repro/internal/batch.Integrator.Round," +
+	"repro/internal/batch.Integrator.accum," +
+	"repro/internal/batch.Integrator.decide," +
+	"repro/internal/batch.Integrator.load," +
+	"repro/internal/batch.Integrator.prep," +
+	"repro/internal/batch.Integrator.trialRound," +
+	"repro/internal/control.CheckContext.FProp," +
 	"repro/internal/control.Engine.Decide," +
 	"repro/internal/core.DoubleCheck.Validate," +
 	"repro/internal/la.FirstDerivativeWeightsInto," +

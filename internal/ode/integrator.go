@@ -51,8 +51,10 @@ type Trial struct {
 	Significance int8
 }
 
-// event flattens the trial into its telemetry record.
-func (tr *Trial) event() telemetry.StepEvent {
+// Event flattens the trial into its telemetry record. It is exported so the
+// lockstep batch engine (internal/batch) emits records byte-identical to the
+// serial integrator's.
+func (tr *Trial) Event() telemetry.StepEvent {
 	v := telemetry.VerdictAccept
 	switch {
 	case tr.ClassicReject:
@@ -309,7 +311,7 @@ func (in *Integrator) Step() error {
 			in.OnTrial(trial)
 		}
 		if in.Tracer != nil {
-			in.Tracer.Record(trial.event())
+			in.Tracer.Record(trial.Event())
 		}
 
 		if accepted {
