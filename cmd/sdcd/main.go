@@ -1,0 +1,68 @@
+// Command sdcd serves fault-injection campaigns over HTTP: POST a campaign
+// spec, poll or stream its progress, and fetch the merged deterministic
+// report. See DESIGN.md §10 for the API and the README for a curl
+// round-trip.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8321", "listen address")
+	workers := flag.Int("workers", 0, "shard worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "pending shard queue capacity (0 = 4096)")
+	maxCampaigns := flag.Int("max-campaigns", 0, "retained campaign records (0 = 8192)")
+	cacheCap := flag.Int("cache", 0, "result cache entries per layer (0 = 4096)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "sdcd: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Options{
+		PoolWorkers:  *workers,
+		QueueCap:     *queue,
+		MaxCampaigns: *maxCampaigns,
+		CacheCap:     *cacheCap,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("sdcd: serving campaigns on http://%s", *addr)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("sdcd: shutting down")
+	case err := <-errc:
+		log.Fatalf("sdcd: serve: %v", err)
+	}
+
+	// Stop accepting HTTP first, then cancel the campaign pool; blocked
+	// result waits unblock when their campaigns go terminal.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("sdcd: http shutdown: %v", err)
+	}
+	srv.Close()
+}

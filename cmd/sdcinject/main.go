@@ -26,43 +26,9 @@ import (
 	"repro/internal/problems"
 )
 
-func pickProblem(name string, n int) (*problems.Problem, error) {
-	switch name {
-	case "burgers":
-		p := problems.Burgers1D(n, "weno5")
-		p.TEnd = 0.25
-		return p, nil
-	case "burgers-crweno":
-		p := problems.Burgers1D(n, "crweno5-periodic")
-		p.TEnd = 0.25
-		return p, nil
-	case "bubble":
-		return problems.Bubble2D(n, "weno5", 30), nil
-	case "decay":
-		return problems.Decay(), nil
-	case "oscillator":
-		return problems.Oscillator(), nil
-	case "vanderpol":
-		return problems.VanDerPol(5), nil
-	case "lorenz":
-		return problems.Lorenz(), nil
-	case "brusselator":
-		return problems.Brusselator1D(n / 2), nil
-	case "unstable":
-		return problems.Unstable(), nil
-	case "arenstorf":
-		return problems.Arenstorf(), nil
-	case "heat":
-		return problems.Heat1D(n), nil
-	case "advection":
-		return problems.Advection1D(n), nil
-	}
-	return nil, fmt.Errorf("unknown problem %q", name)
-}
-
 func main() {
 	var (
-		probName  = flag.String("problem", "burgers", "workload: burgers, burgers-crweno, bubble, decay, oscillator, vanderpol, lorenz, brusselator, unstable, arenstorf, heat, advection")
+		probName  = flag.String("problem", "burgers", "workload: "+strings.Join(problems.Names(), ", "))
 		n         = flag.Int("n", 128, "grid resolution for PDE workloads")
 		method    = flag.String("method", "heun-euler", "embedded pair (heun-euler, bogacki-shampine, dormand-prince, fehlberg, cash-karp)")
 		injName   = flag.String("injector", "scaled", "singlebit, multibit, or scaled")
@@ -87,7 +53,7 @@ func main() {
 	)
 	flag.Parse()
 
-	p, err := pickProblem(*probName, *n)
+	p, err := problems.ByName(*probName, *n)
 	if err != nil {
 		fatal(err)
 	}

@@ -36,8 +36,16 @@ type batchScratch struct {
 // runBatchGroup runs len(jobs) consecutive replicates (len(jobs) <= the
 // configured batch width) as lanes of one lockstep batch, filling outs with
 // their outcomes. Group wall time is attributed evenly across the lanes —
-// lanes execute interleaved, so no sharper per-replicate timing exists.
-func runBatchGroup(cfg *Config, jobs []repJob, scr *batchScratch, outs []repOutcome) {
+// lanes execute interleaved, so no sharper per-replicate timing exists. A
+// cancelled ctx abandons the group between lockstep rounds and reports the
+// context error for every lane.
+func runBatchGroup(ctx context.Context, cfg *Config, jobs []repJob, scr *batchScratch, outs []repOutcome) {
+	if err := ctx.Err(); err != nil {
+		for i := range jobs {
+			outs[i] = repOutcome{err: err}
+		}
+		return
+	}
 	//lint:allow walltime -- per-replicate wall time feeds the §VI-B overhead ratio, never the deterministic outputs
 	groupStart := time.Now()
 	p := cfg.Problem
@@ -85,7 +93,21 @@ func runBatchGroup(cfg *Config, jobs []repJob, scr *batchScratch, outs []repOutc
 			X0: p.X0, H0: p.H0,
 		})
 	}
-	bi.Run()
+	// Drive the lockstep rounds directly instead of bi.Run so the group can
+	// poll for cancellation: one poll per haltCheckInterval rounds, the
+	// batched analog of the serial integrator's Halt hook.
+	if halt := haltFunc(ctx); halt == nil {
+		bi.Run()
+	} else {
+		for bi.Round() {
+			if halt() {
+				for i := range jobs {
+					outs[i] = repOutcome{err: ctx.Err()}
+				}
+				return
+			}
+		}
+	}
 	//lint:allow walltime -- per-replicate wall time feeds the §VI-B overhead ratio, never the deterministic outputs
 	per := time.Since(groupStart).Seconds() / float64(n)
 	for i := 0; i < n; i++ {
@@ -99,7 +121,7 @@ func runBatchGroup(cfg *Config, jobs []repJob, scr *batchScratch, outs []repOutc
 // order under the serial stopping rule. Like a parallel wave, a group may
 // overshoot the injection target; the excess replicates are discarded at
 // merge, exactly as the serial engine would never have run them.
-func runSerialBatched(cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns int) error {
+func runSerialBatched(ctx context.Context, cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns int) error {
 	width := cfg.batch()
 	var scr batchScratch
 	jobs := make([]repJob, width)
@@ -112,7 +134,7 @@ func runSerialBatched(cfg *Config, res *Result, m *merger, root *xrand.RNG, minI
 		for i := 0; i < n; i++ {
 			jobs[i] = nextJob(cfg, root, next+i)
 		}
-		runBatchGroup(cfg, jobs[:n], &scr, outs[:n])
+		runBatchGroup(ctx, cfg, jobs[:n], &scr, outs[:n])
 		for i := range outs[:n] {
 			if res.Rates.Injections >= minInj {
 				break // overshoot: the serial engine would have stopped here
@@ -132,7 +154,7 @@ func runSerialBatched(cfg *Config, res *Result, m *merger, root *xrand.RNG, minI
 // lockstep batch. The wave scheduling, substream draw order, and merge-time
 // stopping rule are exactly runParallel's — only the per-group execution
 // engine differs.
-func runParallelBatched(cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns, workers int) error {
+func runParallelBatched(ctx context.Context, cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns, workers int) error {
 	width := cfg.batch()
 	waveReps := waveFactor * workers * width
 	scratch := make([]batchScratch, workers)
@@ -157,14 +179,14 @@ func runParallelBatched(cfg *Config, res *Result, m *merger, root *xrand.RNG, mi
 				labels := pprof.Labels(
 					"campaign-worker", strconv.Itoa(w),
 					"detector", string(cfg.Detector))
-				pprof.Do(context.Background(), labels, func(context.Context) {
+				pprof.Do(ctx, labels, func(ctx context.Context) {
 					for g := range idx {
 						lo := g * width
 						hi := lo + width
 						if hi > n {
 							hi = n
 						}
-						runBatchGroup(cfg, jobs[lo:hi], &scratch[w], outs[lo:hi])
+						runBatchGroup(ctx, cfg, jobs[lo:hi], &scratch[w], outs[lo:hi])
 					}
 				})
 			}(w)

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -238,6 +240,18 @@ func init() {
 // Replicates run on cfg.Workers workers (see Config.Workers); the result is
 // bitwise identical for every worker count.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the campaign
+// abandons its queued replicates, halts in-flight integrations on the next
+// step boundary, waits for its workers, and returns ctx's error. A
+// cancelled campaign returns no partial Result — the stopping rule makes a
+// partial merge indistinguishable from a shorter campaign, so serving it
+// would poison determinism-keyed caches. Cancellation is checked between
+// replicates and every haltCheckInterval accepted steps inside one, so the
+// return is prompt even mid-integration.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Problem == nil || cfg.Tab == nil || cfg.Injector == nil {
 		return nil, fmt.Errorf("harness: Problem, Tab and Injector are required")
 	}
@@ -266,13 +280,13 @@ func Run(cfg Config) (*Result, error) {
 	var err error
 	switch {
 	case workers == 1 && cfg.batch() == 1:
-		err = runSerial(&cfg, res, &m, root, minInj, maxRuns)
+		err = runSerial(ctx, &cfg, res, &m, root, minInj, maxRuns)
 	case workers == 1:
-		err = runSerialBatched(&cfg, res, &m, root, minInj, maxRuns)
+		err = runSerialBatched(ctx, &cfg, res, &m, root, minInj, maxRuns)
 	case cfg.batch() == 1:
-		err = runParallel(&cfg, res, &m, root, minInj, maxRuns, workers)
+		err = runParallel(ctx, &cfg, res, &m, root, minInj, maxRuns, workers)
 	default:
-		err = runParallelBatched(&cfg, res, &m, root, minInj, maxRuns, workers)
+		err = runParallelBatched(ctx, &cfg, res, &m, root, minInj, maxRuns, workers)
 	}
 	if err != nil {
 		return nil, err
@@ -458,13 +472,40 @@ func collectOutcome(out *repOutcome, w repWiring, runErr error, st ode.Stats, se
 	}
 }
 
+// haltCheckInterval is how many accepted steps an in-flight replicate (or
+// batch group) takes between context-cancellation polls. Wide enough that
+// the uncontended ctx.Err mutex never shows in a step profile, narrow
+// enough that even a PDE-sized replicate abandons within milliseconds of a
+// cancel.
+const haltCheckInterval = 64
+
+// haltFunc adapts ctx to the integrator's Halt hook, polling ctx.Err only
+// every haltCheckInterval calls. It returns nil for contexts that can never
+// be cancelled, so the uncancellable path keeps a nil Halt and pays one
+// pointer comparison per step.
+func haltFunc(ctx context.Context) func() bool {
+	if ctx.Done() == nil {
+		return nil
+	}
+	var n uint
+	return func() bool {
+		n++
+		return n%haltCheckInterval == 0 && ctx.Err() != nil
+	}
+}
+
 // runReplicate integrates the problem once under injection, with every
 // mutable resource (RNG substreams, right-hand side, integrator, detector,
 // shadow stepper, scratch vectors) owned exclusively by this call. The
 // heavy machinery lives in scr, a worker-owned arena recycled across the
-// worker's replicates (see repScratch).
-func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
+// worker's replicates (see repScratch). A cancelled ctx surfaces as
+// out.err (the context's error), never as a diverged-run tally.
+func runReplicate(ctx context.Context, cfg *Config, job repJob, scr *repScratch) repOutcome {
 	var out repOutcome
+	if err := ctx.Err(); err != nil {
+		out.err = err
+		return out
+	}
 	//lint:allow walltime -- per-replicate wall time feeds the §VI-B overhead ratio, never the deterministic outputs
 	repStart := time.Now()
 	p := cfg.Problem
@@ -484,6 +525,7 @@ func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
 	in.OnTrial = w.onTrial
 	in.Tracer = w.tracer
 	in.StateHook = w.stateHook
+	in.Halt = haltFunc(ctx)
 	in.MaxSteps = 1 << 18
 	in.MaxTrials = 0
 	in.MinStep = 0
@@ -494,6 +536,13 @@ func runReplicate(cfg *Config, job repJob, scr *repScratch) repOutcome {
 
 	in.Init(w.sys, p.T0, p.TEnd, p.X0, p.H0)
 	_, runErr := in.Run()
+	if errors.Is(runErr, ode.ErrHalted) {
+		// The halt only fires on a cancelled context: report the
+		// cancellation instead of folding the abandoned run into the
+		// campaign numbers.
+		out.err = ctx.Err()
+		return out
+	}
 	//lint:allow walltime -- per-replicate wall time feeds the §VI-B overhead ratio, never the deterministic outputs
 	collectOutcome(&out, w, runErr, in.Stats, time.Since(repStart).Seconds())
 	return out

@@ -112,11 +112,12 @@ func vecFor(slot *la.Vec, m int) la.Vec {
 }
 
 // runSerial is the reference engine: replicates execute one after another
-// until the stopping rule (Injections >= minInj, or maxRuns) fires.
-func runSerial(cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns int) error {
+// until the stopping rule (Injections >= minInj, or maxRuns) fires, or ctx
+// is cancelled.
+func runSerial(ctx context.Context, cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns int) error {
 	var scr repScratch
 	for rep := 0; rep < maxRuns && res.Rates.Injections < minInj; rep++ {
-		out := runReplicate(cfg, nextJob(cfg, root, rep), &scr)
+		out := runReplicate(ctx, cfg, nextJob(cfg, root, rep), &scr)
 		if out.err != nil {
 			return out.err
 		}
@@ -136,8 +137,10 @@ const waveFactor = 2
 // outcomes are merged in replicate order under the serial stopping rule —
 // a wave may overshoot the injection target, in which case the replicates
 // past the first one satisfying the stop condition are discarded, exactly
-// as the serial engine would never have run them.
-func runParallel(cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns, workers int) error {
+// as the serial engine would never have run them. A cancelled ctx makes
+// every in-flight replicate halt on a step boundary, the wave drain, and
+// the merge loop surface the context error.
+func runParallel(ctx context.Context, cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, maxRuns, workers int) error {
 	wave := waveFactor * workers
 	// The scratch arenas and the wave buffers outlive the wave loop: each
 	// worker index keeps its arena across waves, so the integrator's stage
@@ -167,9 +170,9 @@ func runParallel(cfg *Config, res *Result, m *merger, root *xrand.RNG, minInj, m
 				labels := pprof.Labels(
 					"campaign-worker", strconv.Itoa(w),
 					"detector", string(cfg.Detector))
-				pprof.Do(context.Background(), labels, func(context.Context) {
+				pprof.Do(ctx, labels, func(ctx context.Context) {
 					for i := range idx {
-						outs[i] = runReplicate(cfg, jobs[i], &scratch[w])
+						outs[i] = runReplicate(ctx, cfg, jobs[i], &scratch[w])
 					}
 				})
 			}(w)

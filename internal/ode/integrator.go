@@ -116,6 +116,15 @@ type Integrator struct {
 	// recomputes from clean data. Returns the number of corruptions.
 	StateHook func(t float64, x la.Vec) int
 
+	// Halt, when non-nil, is polled between accepted steps by Run/RunTo;
+	// returning true stops the integration with ErrHalted. The campaign
+	// engines wire context cancellation through it, so a cancelled campaign
+	// abandons an in-flight replicate mid-run instead of integrating to
+	// TEnd. A nil Halt costs one pointer comparison per accepted step, and
+	// Step itself never polls it, so the protected-step hot path (and its
+	// benchmark gate) is unaffected.
+	Halt func() bool
+
 	MaxSteps     int     // safety bound on accepted steps (0 = 1<<20)
 	MaxTrials    int     // safety bound on trials per step (0 = 1000)
 	MinStep      float64 // below this the integration fails (0 = 1e-14 * span)
@@ -159,6 +168,12 @@ var ErrStepSizeUnderflow = errors.New("ode: step size underflow")
 // ErrTooManyTrials is returned when a single step exceeds MaxTrials
 // attempts, e.g. when a validator rejects indefinitely.
 var ErrTooManyTrials = errors.New("ode: too many trials for one step")
+
+// ErrHalted is returned by Run/RunTo when the Halt hook requested a stop.
+// The integrator's state remains valid — the halt landed on a step
+// boundary — but campaign accounting treats a halted run as abandoned, not
+// diverged.
+var ErrHalted = errors.New("ode: run halted")
 
 // Init prepares the integrator to advance sys from x0 at t0 to tEnd with
 // initial step h0. x0 is copied.
@@ -369,6 +384,9 @@ func (in *Integrator) Step() error {
 func (in *Integrator) Run() (int, error) {
 	start := in.Stats.Steps
 	for !in.Done() {
+		if in.Halt != nil && in.Halt() {
+			return in.Stats.Steps - start, ErrHalted
+		}
 		if in.Stats.Steps-start >= in.MaxSteps {
 			return in.Stats.Steps - start, fmt.Errorf("ode: exceeded MaxSteps=%d at t=%g", in.MaxSteps, in.t)
 		}
@@ -391,6 +409,9 @@ func (in *Integrator) RunTo(tStop float64) error {
 	in.tEnd = tStop
 	defer func() { in.tEnd = saved }()
 	for !in.Done() {
+		if in.Halt != nil && in.Halt() {
+			return ErrHalted
+		}
 		if err := in.Step(); err != nil {
 			return err
 		}

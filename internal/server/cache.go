@@ -1,0 +1,94 @@
+package server
+
+import "sync"
+
+// resultCache is the content-addressed store that makes identical
+// submissions free: campaign hashes map to finished result documents
+// (served verbatim, byte for byte), and shard keys map to shard reports
+// (so a near-miss campaign — one seed changed — re-runs only the changed
+// shards). Both layers are exact, not heuristic: the keys hash every field
+// that can influence a result byte, and the harness guarantees the rest.
+//
+// Entries are bounded FIFO: when a layer exceeds its cap the oldest entry
+// falls out. Content addressing makes eviction harmless — a re-miss
+// recomputes the identical bytes.
+type resultCache struct {
+	mu           sync.Mutex
+	campaigns    map[string][]byte
+	campaignFIFO []string
+	shards       map[string]*ShardReport
+	shardFIFO    []string
+	cap          int
+
+	hits, misses uint64 // campaign-level lookups
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &resultCache{
+		campaigns: make(map[string][]byte),
+		shards:    make(map[string]*ShardReport),
+		cap:       capacity,
+	}
+}
+
+// lookupCampaign returns the cached result document for hash, if present.
+func (c *resultCache) lookupCampaign(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	doc, ok := c.campaigns[hash]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return doc, ok
+}
+
+// storeCampaign records a finished campaign's result document.
+func (c *resultCache) storeCampaign(hash string, doc []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.campaigns[hash]; dup {
+		return // identical bytes by construction; keep the first
+	}
+	c.campaigns[hash] = doc
+	c.campaignFIFO = append(c.campaignFIFO, hash)
+	if len(c.campaignFIFO) > c.cap {
+		delete(c.campaigns, c.campaignFIFO[0])
+		c.campaignFIFO = c.campaignFIFO[1:]
+	}
+}
+
+// lookupShard returns the cached report for one shard key, if present.
+func (c *resultCache) lookupShard(key string) (*ShardReport, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep, ok := c.shards[key]
+	return rep, ok
+}
+
+// storeShard records one shard's report. Reports are immutable once
+// stored — every reader shares the pointer.
+func (c *resultCache) storeShard(key string, rep *ShardReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.shards[key]; dup {
+		return
+	}
+	c.shards[key] = rep
+	c.shardFIFO = append(c.shardFIFO, key)
+	if len(c.shardFIFO) > c.cap {
+		delete(c.shards, c.shardFIFO[0])
+		c.shardFIFO = c.shardFIFO[1:]
+	}
+}
+
+// stats returns the campaign-level hit/miss counters and entry counts.
+func (c *resultCache) stats() (hits, misses uint64, campaigns, shards int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.campaigns), len(c.shards)
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func getStats(t *testing.T, url string) Stats {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestServerCacheDeterminism is the cache contract: submitting the same
+// spec twice serves the second response from the content-addressed cache —
+// byte-identical to the first, flagged as a hit, and with zero new
+// replicates executed. A near-miss spec (one seed changed) must miss the
+// campaign cache, but re-runs only the changed shard.
+func TestServerCacheDeterminism(t *testing.T) {
+	_, ts := newTestServer(t, Options{PoolWorkers: 2})
+	spec := baseSpec(101, 102)
+
+	// First submission: runs for real.
+	st1, code := postSpec(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("first POST status %d, want 202", code)
+	}
+	body1, code, cache1 := fetchResult(t, ts, st1.ID)
+	if code != http.StatusOK || cache1 != "miss" {
+		t.Fatalf("first result: status %d cache %q, want 200 miss", code, cache1)
+	}
+	stats1 := getStats(t, ts.URL)
+	if stats1.ShardsRun != 2 {
+		t.Fatalf("first run executed %d shards, want 2", stats1.ShardsRun)
+	}
+	if stats1.ReplicatesRun == 0 {
+		t.Fatalf("first run reported zero replicates")
+	}
+
+	// Identical resubmission: POST answers 200 immediately with the
+	// cache-hit flag set, the body is byte-identical, and the replicate
+	// counter has not moved.
+	st2, code := postSpec(t, ts, spec)
+	if code != http.StatusOK {
+		t.Fatalf("duplicate POST status %d, want 200 (cache hit)", code)
+	}
+	if !st2.CacheHit || st2.State != StateDone {
+		t.Fatalf("duplicate status %+v, want done cache hit", st2)
+	}
+	if st2.ID == st1.ID {
+		t.Fatalf("duplicate submission reused campaign ID %s", st2.ID)
+	}
+	body2, code, cache2 := fetchResult(t, ts, st2.ID)
+	if code != http.StatusOK || cache2 != "hit" {
+		t.Fatalf("duplicate result: status %d cache %q, want 200 hit", code, cache2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("cache served different bytes:\n--- first ---\n%s\n--- second ---\n%s", body1, body2)
+	}
+	stats2 := getStats(t, ts.URL)
+	if stats2.ShardsRun != stats1.ShardsRun || stats2.ReplicatesRun != stats1.ReplicatesRun {
+		t.Errorf("cache hit ran new work: shards %d→%d, replicates %d→%d",
+			stats1.ShardsRun, stats2.ShardsRun, stats1.ReplicatesRun, stats2.ReplicatesRun)
+	}
+	if stats2.CacheHits == 0 {
+		t.Errorf("stats counted no cache hits: %+v", stats2)
+	}
+
+	// Near miss: one seed changed. The campaign cache must miss, but the
+	// shard cache covers the unchanged seed, so exactly one new shard runs.
+	near := baseSpec(101, 103)
+	st3, code := postSpec(t, ts, near)
+	if code != http.StatusAccepted {
+		t.Fatalf("near-miss POST status %d, want 202 (must not hit the campaign cache)", code)
+	}
+	if st3.CacheHit {
+		t.Fatalf("near-miss flagged as cache hit")
+	}
+	body3, code, cache3 := fetchResult(t, ts, st3.ID)
+	if code != http.StatusOK || cache3 != "miss" {
+		t.Fatalf("near-miss result: status %d cache %q, want 200 miss", code, cache3)
+	}
+	if bytes.Equal(body3, body1) {
+		t.Errorf("near-miss served the original campaign's bytes")
+	}
+	stats3 := getStats(t, ts.URL)
+	if got := stats3.ShardsRun - stats2.ShardsRun; got != 1 {
+		t.Errorf("near-miss executed %d shards, want 1 (seed 101 should come from the shard cache)", got)
+	}
+}
+
+// TestServerCancel pins DELETE semantics: a long campaign goes terminal
+// promptly, its in-flight harness run halts, and the result endpoint
+// answers 409.
+func TestServerCancel(t *testing.T) {
+	_, ts := newTestServer(t, Options{PoolWorkers: 1})
+
+	// A budget far beyond MaxRuns' reach on this horizon: the shard would
+	// run for a long time without cancellation.
+	slow := baseSpec(1)
+	slow.TEnd = 20000
+	slow.TolA, slow.TolR = 1e-7, 1e-7
+	slow.MinInjections = 1 << 19
+	slow.MaxRuns = 1 << 20
+
+	st, code := postSpec(t, ts, slow)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d, want 202", code)
+	}
+
+	// Give the worker a moment to start the shard, then cancel.
+	time.Sleep(50 * time.Millisecond)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cancelled Status
+	if err := json.NewDecoder(resp.Body).Decode(&cancelled); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cancelled.State != StateCancelled {
+		t.Fatalf("status after DELETE: %+v, want cancelled", cancelled)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+
+	body, code, _ := fetchResult(t, ts, st.ID)
+	if code != http.StatusConflict {
+		t.Fatalf("result of cancelled campaign: status %d (%s), want 409", code, body)
+	}
+
+	// The pool has one worker; a quick follow-up campaign can only finish
+	// if the cancelled shard's harness run actually halted and released it.
+	quick := baseSpec(2)
+	quick.MinInjections = 5
+	st2, code := postSpec(t, ts, quick)
+	if code != http.StatusAccepted {
+		t.Fatalf("follow-up POST status %d, want 202", code)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body, code, _ := fetchResult(t, ts, st2.ID)
+		if code != http.StatusOK {
+			t.Errorf("follow-up result status %d (%s)", code, body)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("worker still blocked 10s after cancellation; the in-flight run did not halt")
+	}
+}
+
+// TestServerEventsFollow pins the streaming path: a follower connected
+// before the campaign finishes receives the lifecycle as it happens and
+// the stream closes on the terminal event. With trace enabled, telemetry
+// JSONL lines ride between a shard's start and done records.
+func TestServerEventsFollow(t *testing.T) {
+	_, ts := newTestServer(t, Options{PoolWorkers: 1})
+
+	spec := baseSpec(42)
+	spec.MinInjections = 5
+	spec.Trace = true
+	st, code := postSpec(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status %d, want 202", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var lifecycle []string
+	traceLines := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Type string `json:"type"`
+			Rep  *int   `json:"rep"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("malformed event %q: %v", sc.Text(), err)
+		}
+		if ev.Type == "" && ev.Rep != nil {
+			traceLines++
+			continue
+		}
+		lifecycle = append(lifecycle, ev.Type)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"submitted", "shard_start", "shard_done", "done"}
+	if len(lifecycle) != len(want) {
+		t.Fatalf("lifecycle %v, want %v", lifecycle, want)
+	}
+	for i := range want {
+		if lifecycle[i] != want[i] {
+			t.Fatalf("lifecycle %v, want %v", lifecycle, want)
+		}
+	}
+	if traceLines == 0 {
+		t.Fatalf("trace enabled but no telemetry lines in the event stream")
+	}
+}

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServerLoadSmoke hammers the API with hundreds of concurrent
+// submissions — a mix of duplicates and distinct specs — and asserts the
+// invariants the server design commits to under load:
+//
+//  1. the pending-shard queue never exceeds its cap (overflow submissions
+//     are rejected with 503, not accepted and starved);
+//  2. every accepted campaign reaches the correct terminal state;
+//  3. duplicates of an already-finished spec are served from the
+//     content-addressed cache: byte-identical bytes, zero new shards;
+//  4. distinct specs each execute exactly their own shards — no more, no
+//     fewer — even while racing 503 retries.
+//
+// The workload is deliberately tiny per shard (MinInjections=2 on the fast
+// oscillator cell) so the whole smoke stays -short friendly; the race
+// detector is the real payload — this test is wired into the CI race job.
+func TestServerLoadSmoke(t *testing.T) {
+	const (
+		submitters = 200 // concurrent clients in the storm phase
+		warmSpecs  = 8   // distinct specs pre-run before the storm
+		queueCap   = 8   // small, so the overflow path is actually exercised
+	)
+	s, ts := newTestServer(t, Options{PoolWorkers: 4, QueueCap: queueCap})
+
+	warm := func(k int) Spec {
+		sp := baseSpec(uint64(1000+k), uint64(2000+k))
+		sp.MinInjections = 2
+		sp.MaxRuns = 50
+		return sp
+	}
+	cold := func(i int) Spec {
+		// Four unique seeds per submitter: wide enough that a burst of
+		// cold submissions overflows the tiny queue and exercises 503s.
+		base := uint64(10000 + 4*i)
+		sp := baseSpec(base, base+1, base+2, base+3)
+		sp.MinInjections = 2
+		sp.MaxRuns = 50
+		return sp
+	}
+
+	// Warm phase: run each duplicate-target spec to completion so the
+	// storm's duplicates have a deterministic cache to hit.
+	warmBytes := make([][]byte, warmSpecs)
+	for k := 0; k < warmSpecs; k++ {
+		st, code := postSpec(t, ts, warm(k))
+		if code != http.StatusAccepted {
+			t.Fatalf("warm spec %d: POST status %d", k, code)
+		}
+		body, code, _ := fetchResult(t, ts, st.ID)
+		if code != http.StatusOK {
+			t.Fatalf("warm spec %d: result status %d (%s)", k, code, body)
+		}
+		warmBytes[k] = body
+	}
+	base := s.Stats()
+	if base.ShardsRun != 2*warmSpecs {
+		t.Fatalf("warm phase executed %d shards, want %d", base.ShardsRun, 2*warmSpecs)
+	}
+
+	// Storm phase: even submitters duplicate a warm spec, odd submitters
+	// bring a distinct cold spec. The tiny queue forces 503s; clients
+	// back off and retry.
+	client := &http.Client{Timeout: 30 * time.Second}
+	var (
+		mu       sync.Mutex
+		accepted = make(map[string]int) // campaign ID -> submitter index
+		rejected int
+		coldN    int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		sp := warm(i % warmSpecs)
+		if i%2 == 1 {
+			sp = cold(i)
+			coldN++
+		}
+		wg.Add(1)
+		go func(i int, sp Spec) {
+			defer wg.Done()
+			body, err := json.Marshal(sp)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for attempt := 0; attempt < 400; attempt++ {
+				resp, err := client.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+					b, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					t.Errorf("submitter %d: POST status %d: %s", i, resp.StatusCode, b)
+					return
+				}
+				var st Status
+				err = json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 && !st.CacheHit {
+					t.Errorf("submitter %d: duplicate of a finished spec missed the cache", i)
+				}
+				mu.Lock()
+				accepted[st.ID] = i
+				mu.Unlock()
+				return
+			}
+			t.Errorf("submitter %d: queue never drained", i)
+		}(i, sp)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatalf("submission phase failed")
+	}
+	t.Logf("accepted %d campaigns, %d transient 503 rejections", len(accepted), rejected)
+
+	// Every accepted campaign reaches done; duplicates serve bytes
+	// identical to the warm phase's results.
+	for id, i := range accepted {
+		body, code, _ := fetchResult(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("campaign %s (submitter %d): result status %d (%s)", id, i, code, body)
+		}
+		if i%2 == 0 && !bytes.Equal(body, warmBytes[i%warmSpecs]) {
+			t.Errorf("submitter %d: duplicate served bytes differing from the original result", i)
+		}
+	}
+
+	stats := s.Stats()
+	if stats.MaxQueueDepth > queueCap {
+		t.Errorf("queue depth reached %d, cap is %d", stats.MaxQueueDepth, queueCap)
+	}
+	if stats.QueueDepth != 0 {
+		t.Errorf("queue not drained: depth %d", stats.QueueDepth)
+	}
+	wantDone := warmSpecs + submitters
+	if stats.Done != wantDone {
+		t.Errorf("%d campaigns done, want %d (queued=%d running=%d failed=%d cancelled=%d)",
+			stats.Done, wantDone, stats.Queued, stats.Running, stats.Failed, stats.Cancelled)
+	}
+	if stats.Failed != 0 || stats.Cancelled != 0 {
+		t.Errorf("unexpected terminal states: %d failed, %d cancelled", stats.Failed, stats.Cancelled)
+	}
+	// Exactly the cold specs' shards ran during the storm: duplicates hit
+	// the campaign cache and never touched the pool.
+	wantShards := base.ShardsRun + 4*uint64(coldN)
+	if stats.ShardsRun != wantShards {
+		t.Errorf("executed %d shards, want exactly %d (cache must absorb every duplicate)", stats.ShardsRun, wantShards)
+	}
+}
+
+// TestServerCloseUnblocksWaiters pins shutdown: Close cancels in-flight
+// campaigns, marks them terminal, and rejects later submissions.
+func TestServerCloseUnblocksWaiters(t *testing.T) {
+	s := New(Options{PoolWorkers: 1})
+	// No httptest front end here — exercise the engine API directly.
+	slow := baseSpec(1)
+	slow.TEnd = 20000
+	slow.TolA, slow.TolR = 1e-7, 1e-7
+	slow.MinInjections = 1 << 19
+	slow.MaxRuns = 1 << 20
+	c, err := s.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Close()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return within 10s")
+	}
+
+	st := c.status()
+	if st.State != StateCancelled {
+		t.Fatalf("campaign state after Close: %+v, want cancelled", st)
+	}
+	if _, err := s.Submit(baseSpec(2)); err == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+}

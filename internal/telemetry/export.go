@@ -24,8 +24,12 @@ func appendJSONFloat(b []byte, f float64) []byte {
 	return strconv.AppendFloat(b, f, 'g', -1, 64)
 }
 
-// appendJSONL appends ev as one JSON object (no trailing newline).
-func appendJSONL(b []byte, ev *StepEvent) []byte {
+// AppendEvent appends ev as one JSON object (no trailing newline) — the
+// streaming hook behind both WriteJSONL and the campaign server's event
+// stream. The encoding is hand-rolled and allocation-free past the buffer
+// itself, so callers can fan one event out to many subscribers by reusing
+// b; the byte layout is the wire format the JSONL exporter commits to.
+func AppendEvent(b []byte, ev *StepEvent) []byte {
 	b = append(b, `{"rep":`...)
 	b = strconv.AppendInt(b, int64(ev.Rep), 10)
 	if ev.Detector != "" {
@@ -75,7 +79,7 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 		if err != nil {
 			return
 		}
-		buf = appendJSONL(buf[:0], ev)
+		buf = AppendEvent(buf[:0], ev)
 		buf = append(buf, '\n')
 		_, err = bw.Write(buf)
 	})

@@ -388,3 +388,32 @@ func TestMetricsWriteCSV(t *testing.T) {
 		}
 	}
 }
+
+// TestAppendEventMatchesWriteJSONL pins the streaming hook to the
+// committed JSONL wire format: concatenating AppendEvent over the stored
+// events (one '\n' per event) must reproduce WriteJSONL byte for byte, so
+// a consumer of the live stream and a reader of an exported trace file see
+// identical bytes.
+func TestAppendEventMatchesWriteJSONL(t *testing.T) {
+	r := NewRecorder(8)
+	r.SetStamp(3, "ibdc")
+	for i := 0; i < 5; i++ {
+		e := ev(i)
+		if i == 2 {
+			e.SErr2 = math.Inf(1)
+		}
+		r.Record(e)
+	}
+	var want bytes.Buffer
+	if err := r.WriteJSONL(&want); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	r.Do(func(e *StepEvent) {
+		got = AppendEvent(got, e)
+		got = append(got, '\n')
+	})
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("AppendEvent stream diverges from WriteJSONL:\n%s\nvs\n%s", got, want.Bytes())
+	}
+}
