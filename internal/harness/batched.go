@@ -170,7 +170,10 @@ func runParallelBatched(ctx context.Context, cfg *Config, res *Result, m *merger
 		}
 		groups := (n + width - 1) / width
 
-		idx := make(chan int)
+		// Buffered to the group count so dispatch below never blocks: the
+		// dispatcher must not wait on a worker mid-group after the context
+		// is cancelled.
+		idx := make(chan int, groups)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)

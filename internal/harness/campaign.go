@@ -240,6 +240,7 @@ func init() {
 // Replicates run on cfg.Workers workers (see Config.Workers); the result is
 // bitwise identical for every worker count.
 func Run(cfg Config) (*Result, error) {
+	//lint:allow ctxflow -- compatibility wrapper pinned to Background by its signature; callers needing cancellation use RunContext
 	return RunContext(context.Background(), cfg)
 }
 

@@ -158,7 +158,10 @@ func runParallel(ctx context.Context, cfg *Config, res *Result, m *merger, root 
 			jobs[i] = nextJob(cfg, root, next+i)
 		}
 
-		idx := make(chan int)
+		// Buffered to the wave size so dispatch below never blocks: the
+		// dispatcher must not wait on a worker mid-replicate after the
+		// context is cancelled.
+		idx := make(chan int, n)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)

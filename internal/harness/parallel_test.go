@@ -224,3 +224,46 @@ func TestRunReplicatedWorkerInvariance(t *testing.T) {
 		t.Errorf("replicated means diverge: %+v vs %+v", par, serial)
 	}
 }
+
+// TestWaveDispatchOverprovisioned is the regression for the unbuffered
+// dispatch channel sdcvet's ctxflow analyzer flagged: the wave dispatcher
+// now fills a buffered channel and closes it without needing a receiver
+// per send. With far more workers than wave entries (and a MaxRuns cap
+// smaller than the pool) every engine shape must complete and stay
+// bitwise identical to the serial reference.
+func TestWaveDispatchOverprovisioned(t *testing.T) {
+	cfg := Config{
+		Problem:       fastProblem(),
+		Tab:           ode.HeunEuler(),
+		Injector:      inject.Scaled{},
+		Detector:      Classic,
+		Seed:          5,
+		MinInjections: 1 << 30, // unreachable: MaxRuns is the stopping rule
+		MaxRuns:       8,
+		Workers:       1,
+	}
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Canonical()
+	for _, shape := range []struct {
+		name           string
+		workers, batch int
+	}{
+		{"parallel", 32, 0},
+		{"parallel-batched", 32, 4},
+	} {
+		t.Run(shape.name, func(t *testing.T) {
+			c := cfg
+			c.Workers, c.Batch = shape.workers, shape.batch
+			got, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g := got.Canonical(); g != want {
+				t.Errorf("%s diverges from serial:\ngot  %+v\nwant %+v", shape.name, g, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,303 @@
+// Package ctxflow enforces context discipline in the concurrent campaign
+// packages: cancellation must flow from the caller into every blocking
+// operation, because the server's shutdown and the harness's Halt hook
+// both depend on it reaching the innermost integration loop.
+//
+// Two rules, in scoped packages:
+//
+//  1. No context.Background() or context.TODO() outside func main and
+//     test files. Library code must accept or derive its context; minting
+//     a root context severs the cancellation chain (the reason a dropped
+//     ctx in PR 7 could have made Shutdown hang on an in-flight shard).
+//
+//  2. In a function that receives a context.Context, blocking operations
+//     must be cancellable: channel sends on channels not provably
+//     buffered, bare channel receives, selects with neither a default
+//     nor a ctx.Done()-style case, time.Sleep, and WaitGroup.Wait inside
+//     a loop without a prior close(...) of the dispatch channel are all
+//     findings. The recognized discharges are exactly the repo's idioms:
+//     select { case ...: case <-ctx.Done(): }, wait-free sends on
+//     buffered channels (the server's reserved shard queue, the
+//     harness's wave-sized dispatch channels), and close-then-wait
+//     worker teardown. Halt-style polling (the ode.Integrator.Halt hook)
+//     never blocks, so it needs no special case.
+//
+// Exemptions use the standard escape hatch, reason mandatory:
+//
+//	//lint:allow ctxflow -- <reason>
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/lint/directive"
+	"repro/internal/lint/lintutil"
+)
+
+const name = "ctxflow"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "contexts must thread to every blocking op in campaign code; no fresh root contexts outside main",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var (
+	pkgs      = "repro/internal/server,repro/internal/harness,repro/internal/batch"
+	testFiles = false
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgs, "pkgs", pkgs,
+		"comma-separated package path suffixes to check (empty checks every package)")
+	Analyzer.Flags.BoolVar(&testFiles, "tests", testFiles, "also check _test.go files")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.PkgMatches(pass, pkgs) {
+		return nil, nil
+	}
+	allows := directive.Collect(pass, name)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Rule 1: fresh root contexts. Walk every function so the enclosing
+	// declaration is known for func-doc directives and the main exception.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || (!testFiles && lintutil.InTestFile(pass, fd.Pos())) {
+			return
+		}
+		if fd.Name.Name == "main" && pass.Pkg.Name() == "main" {
+			return
+		}
+		checkRootContexts(pass, allows, fd)
+		// Rule 2 over the declaration and any nested literal that takes
+		// its own ctx (goroutine bodies handed an explicit context).
+		if _, ok := lintutil.FuncHasCtxParam(pass.TypesInfo, fd.Type); ok {
+			newWalker(pass, allows, fd, fd.Body).stmts(fd.Body.List)
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if _, ok := lintutil.FuncHasCtxParam(pass.TypesInfo, lit.Type); ok {
+				newWalker(pass, allows, fd, lit.Body).stmts(lit.Body.List)
+			}
+			return true
+		})
+	})
+
+	allows.ReportUnused()
+	return nil, nil
+}
+
+// checkRootContexts reports context.Background()/TODO() calls anywhere
+// in fd's body.
+func checkRootContexts(pass *analysis.Pass, allows *directive.Index, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() != "Background" && fn.Name() != "TODO" {
+			return true
+		}
+		if allows.Allowed(call.Pos()) || allows.AllowedFunc(fd) {
+			return true
+		}
+		pass.ReportRangef(call, "context.%s() severs the cancellation chain in %s: accept a ctx parameter or derive from the caller's — or //lint:allow ctxflow -- reason", fn.Name(), pass.Pkg.Path())
+		return true
+	})
+}
+
+// walker checks rule 2 over one ctx-carrying function body. It never
+// descends into nested function literals: those run on their own
+// goroutine or deferred schedule and are covered separately (by golife,
+// or by their own ctx parameter).
+type walker struct {
+	pass      *analysis.Pass
+	allows    *directive.Index
+	fd        *ast.FuncDecl // enclosing declaration, for func-doc directives
+	buffered  map[types.Object]bool
+	loopDepth int
+	closeSeen bool // a close(...) call earlier in the current loop body
+}
+
+func newWalker(pass *analysis.Pass, allows *directive.Index, fd *ast.FuncDecl, body *ast.BlockStmt) *walker {
+	return &walker{
+		pass:     pass,
+		allows:   allows,
+		fd:       fd,
+		buffered: lintutil.BufferedChans(pass.TypesInfo, body),
+	}
+}
+
+func (w *walker) allowed(pos token.Pos) bool {
+	return w.allows.Allowed(pos) || w.allows.AllowedFunc(w.fd)
+}
+
+func (w *walker) report(pos token.Pos, format string, args ...interface{}) {
+	if w.allowed(pos) {
+		return
+	}
+	w.pass.Reportf(pos, format+" — or //lint:allow ctxflow -- reason", args...)
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+		if isCloseCall(s) {
+			w.closeSeen = true
+		}
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.exprs(s.Cond)
+		w.stmt(s.Body)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.exprs(s.Cond)
+		w.loop(func() {
+			w.stmt(s.Body)
+			w.stmt(s.Post)
+		})
+	case *ast.RangeStmt:
+		w.exprs(s.X)
+		w.loop(func() { w.stmt(s.Body) })
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.exprs(s.Tag)
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		ok := lintutil.SelectHasDoneCase(s)
+		for _, c := range s.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				ok = true // default clause: the select cannot block
+			}
+		}
+		if !ok {
+			w.report(s.Pos(), "select with neither a default nor a ctx.Done() case may block past cancellation")
+		}
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CommClause).Body)
+		}
+	case *ast.SendStmt:
+		w.exprs(s.Value)
+		if !lintutil.IsBufferedChanExpr(w.pass.TypesInfo, w.buffered, s.Chan) {
+			w.report(s.Pos(), "send on unbuffered channel %s in ctx-carrying function may block past cancellation: guard with select { case %s <- ...: case <-ctx.Done(): } or buffer the channel", types.ExprString(s.Chan), types.ExprString(s.Chan))
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.exprs(a)
+		}
+	case *ast.DeferStmt:
+		for _, a := range s.Call.Args {
+			w.exprs(a)
+		}
+	default:
+		w.exprs(s)
+	}
+}
+
+// loop runs body with the loop depth bumped and close-tracking scoped to
+// the loop body: a close before the loop does not excuse a Wait inside
+// it (each iteration must tear down its own wave).
+func (w *walker) loop(body func()) {
+	w.loopDepth++
+	saved := w.closeSeen
+	w.closeSeen = false
+	body()
+	w.closeSeen = saved
+	w.loopDepth--
+}
+
+// exprs inspects an expression (or simple statement) for blocking
+// operations, skipping nested function literals.
+func (w *walker) exprs(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if lintutil.IsBufferedChanExpr(w.pass.TypesInfo, w.buffered, n.X) {
+				return true
+			}
+			if isDoneExpr(n.X) {
+				return true // <-ctx.Done() IS the cancellation wait
+			}
+			w.report(n.Pos(), "bare receive from %s in ctx-carrying function may block past cancellation: select on it together with ctx.Done()", types.ExprString(n.X))
+		case *ast.CallExpr:
+			fn := lintutil.CalleeFunc(w.pass.TypesInfo, n)
+			if fn == nil {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				w.report(n.Pos(), "time.Sleep in ctx-carrying function ignores cancellation: use a time.Timer in a select with ctx.Done()")
+			}
+			if fn.FullName() == "(*sync.WaitGroup).Wait" && w.loopDepth > 0 && !w.closeSeen {
+				w.report(n.Pos(), "WaitGroup.Wait inside a loop without closing the dispatch channel first: a blocked worker stalls every later iteration — close(...) before waiting")
+			}
+		}
+		return true
+	})
+}
+
+// isDoneExpr reports whether e is a Done()/Dying()-style call — the
+// canonical cancellation channels it is always legal to block on.
+func isDoneExpr(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && (sel.Sel.Name == "Done" || sel.Sel.Name == "Dying")
+}
+
+// isCloseCall reports whether s is a statement-level close(...) call.
+func isCloseCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "close"
+}

@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.SetFlags(t, ctxflow.Analyzer, map[string]string{"pkgs": ""})
+	linttest.Run(t, "testdata/src/a", "a", ctxflow.Analyzer)
+}

@@ -1,0 +1,99 @@
+// Package a exercises ctxflow: fresh root contexts, unguarded blocking
+// operations in ctx-carrying functions, the recognized discharges
+// (done-select, buffered channels, close-then-wait), and the escape
+// hatch including stale-hatch detection.
+package a
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func fresh() context.Context {
+	return context.Background() // want `context.Background\(\) severs the cancellation chain`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO\(\) severs the cancellation chain`
+}
+
+func excusedRoot() context.Context {
+	//lint:allow ctxflow -- compatibility entry point for context-free callers
+	return context.Background()
+}
+
+//lint:allow ctxflow -- whole function is a compatibility shim
+func excusedByDoc() context.Context {
+	return context.Background()
+}
+
+// blocking is ctx-carrying, so every blocking op must be cancellable.
+func blocking(ctx context.Context, in, out chan int) {
+	out <- 1 // want `send on unbuffered channel out in ctx-carrying function`
+	<-in     // want `bare receive from in in ctx-carrying function`
+	select { // want `select with neither a default nor a ctx.Done\(\) case`
+	case v := <-in:
+		_ = v
+	case out <- 2:
+	}
+	time.Sleep(time.Millisecond) // want `time.Sleep in ctx-carrying function ignores cancellation`
+}
+
+// discharged shows every recognized non-blocking idiom: none may be flagged.
+func discharged(ctx context.Context, out chan int) {
+	select {
+	case out <- 3:
+	case <-ctx.Done():
+	}
+	select {
+	case out <- 4:
+	default:
+	}
+	<-ctx.Done()
+
+	buf := make(chan int, 4)
+	buf <- 1
+	n := 3
+	sized := make(chan int, n) // runtime-sized capacity counts as buffered
+	sized <- 1
+}
+
+func waitInLoop(ctx context.Context, work chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Wait() // want `WaitGroup.Wait inside a loop without closing the dispatch channel`
+	}
+}
+
+func waveTeardown(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for wave := 0; wave < 3; wave++ {
+		idx := make(chan int, n)
+		close(idx)
+		wg.Wait() // clean: close-then-wait inside the wave
+	}
+	wg.Wait() // clean: not in a loop
+}
+
+// noCtx has no context parameter: rule 2 does not apply, only rule 1.
+func noCtx(in, out chan int) {
+	out <- <-in
+}
+
+// spawned function literals with their own ctx parameter are checked too.
+func spawn(parent context.Context, ch chan int) {
+	go func(ctx context.Context) {
+		ch <- 1 // want `send on unbuffered channel ch in ctx-carrying function`
+	}(parent)
+}
+
+func excusedBlocking(ctx context.Context, out chan int) {
+	//lint:allow ctxflow -- rendezvous send is the protocol; peer guaranteed live
+	out <- 1
+}
+
+func staleHatch(ctx context.Context) {
+	//lint:allow ctxflow -- nothing on the next line still needs this // want `unused //lint:allow ctxflow directive`
+	_ = ctx
+}

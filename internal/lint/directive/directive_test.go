@@ -1,0 +1,136 @@
+package directive_test
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint"
+	"repro/internal/lint/directive"
+)
+
+// stub flags every call to a function named flagme, wired through the
+// full directive lifecycle: Collect, Allowed, AllowedFunc, ReportUnused.
+var stub = &analysis.Analyzer{
+	Name: "stub",
+	Doc:  "flags every flagme() call",
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		allows := directive.Collect(pass, "stub")
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+						if !allows.Allowed(call.Pos()) && !allows.AllowedFunc(fd) {
+							pass.Reportf(call.Pos(), "flagme called")
+						}
+					}
+					return true
+				})
+			}
+		}
+		allows.ReportUnused()
+		return nil, nil
+	},
+}
+
+// runOn loads the single package in dir and runs one analyzer over it,
+// returning the raw diagnostics. The fixtures here assert exact (line,
+// message) pairs programmatically instead of using linttest want
+// comments: a want comment appended to a malformed directive would
+// itself become part of the parsed directive text.
+func runOn(t *testing.T, dir, pkgpath string, a *analysis.Analyzer) []lint.Diag {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, modPath, err := lint.FindModule(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := lint.NewLoader(root, modPath)
+	pkg, err := ld.LoadDir(pkgpath, abs)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := ld.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	return diags
+}
+
+type find struct {
+	line int
+	sub  string
+}
+
+// assertDiags requires a one-to-one match between expected (line,
+// substring) pairs and actual diagnostics.
+func assertDiags(t *testing.T, diags []lint.Diag, expect []find) {
+	t.Helper()
+	claimed := make([]bool, len(diags))
+	for _, e := range expect {
+		hit := false
+		for i, d := range diags {
+			if !claimed[i] && d.Pos.Line == e.line && strings.Contains(d.Message, e.sub) {
+				claimed[i] = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("missing diagnostic: line %d containing %q", e.line, e.sub)
+		}
+	}
+	for i, d := range diags {
+		if !claimed[i] {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+}
+
+// TestSuppressionLifecycle drives Collect/Allowed/AllowedFunc/
+// ReportUnused end to end: same-line and line-above suppression, doc-
+// comment suppression for a whole function, a missing-reason directive
+// that is reported and suppresses nothing, two directives claiming one
+// line, a directive addressed to a different analyzer (invisible to
+// this one — the gap lintdirective closes), and stale detection.
+func TestSuppressionLifecycle(t *testing.T) {
+	diags := runOn(t, "testdata/src/d", "d", stub)
+	assertDiags(t, diags, []find{
+		{8, "flagme called"},                       // plain: no hatch
+		{27, "malformed //lint:allow directive"},   // missing " -- reason"
+		{28, "flagme called"},                      // malformed hatch suppresses nothing
+		{38, "flagme called"},                      // other analyzer's hatch suppresses nothing
+		{42, "unused //lint:allow stub directive"}, // stale hatch
+	})
+}
+
+// TestValidateDirectives runs the lintdirective analyzer with a known
+// set of {stub}: typo'd names, nameless directives, and no-separator
+// remainders that are not exactly a known analyzer are all findings;
+// a well-formed known-analyzer directive and the known-analyzer
+// missing-reason shape (reported by the owning analyzer) are not.
+func TestValidateDirectives(t *testing.T) {
+	old := directive.Known
+	directive.Known = []string{"stub"}
+	t.Cleanup(func() { directive.Known = old })
+	diags := runOn(t, "testdata/src/v", "v", directive.Analyzer)
+	assertDiags(t, diags, []find{
+		{10, `unknown analyzer "stubb"`},
+		{14, "names no analyzer"},
+		{16, `malformed //lint:allow directive "stub --"`},
+	})
+}

@@ -1,0 +1,44 @@
+// Package d exercises the escape-hatch lifecycle against a stub
+// analyzer that flags every call to flagme.
+package d
+
+func flagme() {}
+
+func plain() {
+	flagme()
+}
+
+func sameLine() {
+	flagme() //lint:allow stub -- same-line hatch
+}
+
+func lineAbove() {
+	//lint:allow stub -- hatch on the line above
+	flagme()
+}
+
+//lint:allow stub -- the whole function is excused by its doc comment
+func docExcused() {
+	flagme()
+	flagme()
+}
+
+func missingReason() {
+	//lint:allow stub
+	flagme()
+}
+
+func multiplePerLine() {
+	//lint:allow stub -- first hatch, on the line above
+	flagme() //lint:allow stub -- second hatch, same line
+}
+
+func otherAnalyzer() {
+	//lint:allow other -- addresses a different analyzer, suppresses nothing here
+	flagme()
+}
+
+func stale() {
+	//lint:allow stub -- nothing on the next line is flagged anymore
+	_ = 0
+}

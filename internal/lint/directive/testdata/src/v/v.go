@@ -1,0 +1,20 @@
+// Package v exercises the lintdirective validator: every //lint:allow
+// directive must address a registered analyzer.
+package v
+
+func f() {}
+
+func g() {
+	//lint:allow stub -- known analyzer: the validator stays quiet
+	f()
+	//lint:allow stubb -- typo'd analyzer name
+	f()
+	//lint:allow stub
+	f()
+	//lint:allow
+	f()
+	//lint:allow stub --
+	f()
+	//lint:allowance is a different marker, not ours
+	f()
+}

@@ -1,0 +1,63 @@
+package directive
+
+import (
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Known is the full set of analyzer names a //lint:allow directive may
+// address. The driver fills it from the registered suite at startup
+// (importing the registry from here would be a cycle); tests set it
+// explicitly.
+var Known []string
+
+// Analyzer validates the escape hatches themselves. Collect can only
+// police directives that address the analyzer it is collecting for: a
+// typo'd analyzer name matches nothing, suppresses nothing, and — until
+// this check — rotted silently while its author believed the exemption
+// was in force. Every directive must therefore address a registered
+// analyzer and carry the " -- reason" separator (or be the exact
+// known-analyzer malformed shape the owning analyzer already reports).
+const validatorName = "lintdirective"
+
+var Analyzer = &analysis.Analyzer{
+	Name: validatorName,
+	Doc:  "every //lint:allow directive must address a registered analyzer, so typo'd exemptions cannot rot silently",
+	Run:  validate,
+}
+
+func validate(pass *analysis.Pass) (interface{}, error) {
+	known := make(map[string]bool, len(Known)+1)
+	for _, n := range Known {
+		known[n] = true
+	}
+	known[validatorName] = true
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, Prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, Prefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				name, _, ok := cut(strings.TrimSpace(rest))
+				switch {
+				case name == "":
+					pass.Reportf(c.Pos(), "%s directive names no analyzer: want %s <analyzer> -- <reason>", Prefix, Prefix)
+				case ok && !known[name]:
+					pass.Reportf(c.Pos(), "%s directive addresses unknown analyzer %q: it suppresses nothing — fix the name or delete it", Prefix, name)
+				case !ok && !known[name]:
+					// No " -- " separator and the remainder is not exactly a
+					// known analyzer name (that shape the owning analyzer
+					// reports itself): a typo, or trailing text the owning
+					// analyzer will never match.
+					pass.Reportf(c.Pos(), "malformed %s directive %q: want %s <analyzer> -- <reason> with a registered analyzer", Prefix, name, Prefix)
+				}
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,249 @@
+// Package golife requires every goroutine in the campaign packages to
+// have a provable exit path. A goroutine that nothing stops and nothing
+// waits for is how the server leaks workers across Shutdown and how the
+// cancellation tests' goroutine-leak assertions start flaking — the
+// engines' contract is that every spawn is balanced by a join.
+//
+// For each `go` statement the analyzer resolves the spawned body (a
+// function literal, or a same-package declaration) and accepts any of:
+//
+//   - the spawn call is handed a context.Context argument (cancellation
+//     is the callee's contract);
+//   - the body selects on, or receives from, a done-style channel
+//     (<-ctx.Done(), <-done, ...);
+//   - the WaitGroup bracket: the body defers wg.Done() and the spawning
+//     function calls wg.Add before the go statement;
+//   - the body drains a work channel with `for ... range ch` (it exits
+//     when the dispatcher closes the channel);
+//   - the body's final statement sends on a provably buffered channel
+//     (the one-shot "report a result and die" shape, e.g. the daemon's
+//     ListenAndServe error forwarder).
+//
+// A spawn whose body cannot be resolved in-package is a finding too:
+// wrap the call in a closure exhibiting one of the shapes above.
+// Exemptions use the standard escape hatch, reason mandatory:
+//
+//	//lint:allow golife -- <reason>
+package golife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/lint/directive"
+	"repro/internal/lint/lintutil"
+)
+
+const name = "golife"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "every go statement needs a provable exit path (done select, WaitGroup bracket, channel drain, or buffered terminal send)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var (
+	pkgs      = "repro/internal/server,repro/internal/harness,repro/internal/batch,repro/internal/mpi,repro/cmd/sdcd,repro/cmd/scaling"
+	testFiles = false
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgs, "pkgs", pkgs,
+		"comma-separated package path suffixes to check (empty checks every package)")
+	Analyzer.Flags.BoolVar(&testFiles, "tests", testFiles, "also check _test.go files")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.PkgMatches(pass, pkgs) {
+		return nil, nil
+	}
+	allows := directive.Collect(pass, name)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Same-package declarations, so `go s.worker()` can be checked
+	// against worker's actual body.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || (!testFiles && lintutil.InTestFile(pass, fd.Pos())) {
+			return
+		}
+		buffered := lintutil.BufferedChans(pass.TypesInfo, fd.Body)
+		adds := wgAddPositions(pass.TypesInfo, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if allows.Allowed(gs.Pos()) || allows.AllowedFunc(fd) {
+				return true
+			}
+			check(pass, gs, fd, decls, buffered, adds)
+			return true
+		})
+	})
+
+	allows.ReportUnused()
+	return nil, nil
+}
+
+// check reports gs unless one of the recognized exit shapes applies.
+func check(pass *analysis.Pass, gs *ast.GoStmt, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl, buffered map[types.Object]bool, adds []token.Pos) {
+	for _, arg := range gs.Call.Args {
+		if t := pass.TypesInfo.TypeOf(arg); t != nil && lintutil.IsContextType(t) {
+			return // cancellation is the callee's contract
+		}
+	}
+
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := lintutil.CalleeFunc(pass.TypesInfo, gs.Call); fn != nil {
+			if decl := decls[fn]; decl != nil {
+				body = decl.Body
+			}
+		}
+	}
+	if body == nil {
+		pass.Reportf(gs.Pos(), "goroutine body cannot be resolved in this package: wrap the call in a closure with a provable exit (done-channel select, WaitGroup bracket, or buffered terminal send) — or //lint:allow golife -- reason")
+		return
+	}
+
+	if hasDoneSignal(body) || drainsChannel(pass.TypesInfo, body) {
+		return
+	}
+	if defersWgDone(pass.TypesInfo, body) && addBefore(adds, gs.Pos()) {
+		return
+	}
+	if terminalBufferedSend(pass.TypesInfo, body, buffered) {
+		return
+	}
+	pass.Reportf(gs.Pos(), "fire-and-forget goroutine: no provable exit path (no ctx/done select, no WaitGroup Add/defer Done bracket, no channel drain, no buffered terminal send) — or //lint:allow golife -- reason")
+}
+
+// hasDoneSignal reports whether the body selects on or receives from a
+// done-style channel, at any nesting depth below the spawned function
+// itself (nested literals excluded — they are separate goroutine
+// concerns only if themselves spawned).
+func hasDoneSignal(body *ast.BlockStmt) bool {
+	found := false
+	inspectSameFunc(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			if lintutil.SelectHasDoneCase(n) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && lintutil.IsDoneChan(n.X) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// drainsChannel reports whether the body ranges over a channel.
+func drainsChannel(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	inspectSameFunc(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		if t := info.TypeOf(rs.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// defersWgDone reports whether the body defers a WaitGroup Done call.
+func defersWgDone(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	inspectSameFunc(body, func(n ast.Node) {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return
+		}
+		if fn := lintutil.CalleeFunc(info, ds.Call); fn != nil && fn.FullName() == "(*sync.WaitGroup).Done" {
+			found = true
+		}
+	})
+	return found
+}
+
+// wgAddPositions collects the positions of WaitGroup.Add calls in the
+// spawning function, so the bracket check can require Add before go.
+func wgAddPositions(info *types.Info, body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := lintutil.CalleeFunc(info, call); fn != nil && fn.FullName() == "(*sync.WaitGroup).Add" {
+			out = append(out, call.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+func addBefore(adds []token.Pos, pos token.Pos) bool {
+	for _, p := range adds {
+		if p < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// terminalBufferedSend reports whether the body's final statement sends
+// on a channel provably buffered in either the body or the spawner.
+func terminalBufferedSend(info *types.Info, body *ast.BlockStmt, spawnerBuffered map[types.Object]bool) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	send, ok := body.List[len(body.List)-1].(*ast.SendStmt)
+	if !ok {
+		return false
+	}
+	if lintutil.IsBufferedChanExpr(info, spawnerBuffered, send.Chan) {
+		return true
+	}
+	return lintutil.IsBufferedChanExpr(info, lintutil.BufferedChans(info, body), send.Chan)
+}
+
+// inspectSameFunc walks body without descending into nested function
+// literals.
+func inspectSameFunc(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

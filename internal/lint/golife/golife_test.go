@@ -1,0 +1,13 @@
+package golife_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/golife"
+	"repro/internal/lint/linttest"
+)
+
+func TestGolife(t *testing.T) {
+	linttest.SetFlags(t, golife.Analyzer, map[string]string{"pkgs": ""})
+	linttest.Run(t, "testdata/src/a", "a", golife.Analyzer)
+}

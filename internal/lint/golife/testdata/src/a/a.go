@@ -1,0 +1,109 @@
+// Package a exercises golife: fire-and-forget goroutines, every
+// recognized exit shape, unresolvable spawns, and the escape hatch with
+// stale detection.
+package a
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+func spin() {
+	for {
+	}
+}
+
+func leaks() {
+	go spin()   // want `fire-and-forget goroutine: no provable exit path`
+	go func() { // want `fire-and-forget goroutine: no provable exit path`
+		for {
+		}
+	}()
+}
+
+func unresolvable() {
+	go fmt.Println("x") // want `goroutine body cannot be resolved in this package`
+}
+
+func ctxArg(ctx context.Context) {
+	go fmt.Fprintln(nil, ctx) // clean: the callee receives the context
+}
+
+func doneSelect(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-work:
+				_ = v
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func doneRecv(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+func bracket(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func doneWithoutAdd() {
+	var wg sync.WaitGroup
+	go func() { // want `fire-and-forget goroutine: no provable exit path`
+		defer wg.Done()
+	}()
+}
+
+func drains(work chan int) {
+	go func() {
+		for v := range work {
+			_ = v
+		}
+	}()
+}
+
+// namedWorker's exit shape is visible through the same-package call.
+func namedWorker(done chan struct{}) {
+	<-done
+}
+
+func spawnNamed(done chan struct{}) {
+	go namedWorker(done)
+}
+
+func terminalSend() {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- fmt.Errorf("boom")
+	}()
+	<-errc
+}
+
+func unbufferedTerminalSend(out chan error) {
+	go func() { // want `fire-and-forget goroutine: no provable exit path`
+		out <- fmt.Errorf("boom")
+	}()
+}
+
+func excused() {
+	//lint:allow golife -- process-lifetime background loop by design
+	go spin()
+}
+
+func staleHatch() {
+	//lint:allow golife -- nothing here spawns anymore // want `unused //lint:allow golife directive`
+	spin()
+}

@@ -1,0 +1,84 @@
+// Package a exercises hashpure: hint-field reads in sinks, the legal
+// scrub-by-writing pattern, map iteration with and without
+// collect-then-sort, taint at sink call boundaries, and the escape
+// hatch with stale detection.
+package a
+
+import "sort"
+
+type Spec struct {
+	Problem  string
+	Seeds    []uint64
+	Workers  int
+	Batch    int
+	Trace    bool
+	TraceCap int
+}
+
+// Other shares a field name but is not a configured hint type.
+type Other struct {
+	Workers int
+}
+
+func hashSpec(s Spec, extra map[string]string) []byte {
+	var b []byte
+	b = append(b, s.Problem...)    // determinism-relevant field: fine
+	b = append(b, byte(s.Workers)) // want `execution hint s.Workers read in sink hashSpec`
+	if s.Trace {                   // want `execution hint s.Trace read in sink hashSpec`
+		b = append(b, 1)
+	}
+	for k, v := range extra { // want `map iteration in sink hashSpec`
+		b = append(b, k...)
+		b = append(b, v...)
+	}
+	var keys []string
+	for k := range extra { // clean: collect-then-sort
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b = append(b, k...)
+	}
+	return b
+}
+
+func (s *Spec) fingerprint() []byte {
+	return []byte{byte(s.Batch)} // want `execution hint s.Batch read in sink Spec.fingerprint`
+}
+
+func scrub(s Spec) Spec {
+	s.Workers, s.Batch, s.Trace, s.TraceCap = 0, 0, false, 0 // plain writes: the legal scrub
+	return s
+}
+
+func bump(s Spec) Spec {
+	s.Workers++ // want `execution hint s.Workers read in sink bump`
+	return s
+}
+
+func store(key string, n int) {}
+
+func engineShape(s Spec) int {
+	if s.Workers > 1 { // not a sink: engine shaping reads hints legally
+		return s.Workers * s.Batch
+	}
+	return 1
+}
+
+func leak(s Spec) {
+	store("workers", s.Workers) // want `execution hint s.Workers flows into sink store`
+}
+
+func otherTypeIsFine(o Other) {
+	store("workers", o.Workers)
+}
+
+func excused(s Spec) {
+	//lint:allow hashpure -- diagnostic endpoint, not content-addressed
+	store("workers", s.Workers)
+}
+
+func staleHatch(s Spec) int {
+	//lint:allow hashpure -- nothing here reads hints anymore // want `unused //lint:allow hashpure directive`
+	return len(s.Seeds)
+}

@@ -1,0 +1,392 @@
+// Intraprocedural control-flow graphs for the sdcvet concurrency tier.
+//
+// The vendored x/tools subset carries only the analysis core and the
+// inspect pass — not go/cfg or the ctrlflow pass — so the CFG the
+// locksafe/ctxflow analyzers walk is built here: a small, syntactic,
+// single-function graph that models Go's structured control flow (if,
+// for, range, switch, select, labeled break/continue, fallthrough,
+// return) plus the handful of terminating calls (panic, os.Exit,
+// log.Fatal*, runtime.Goexit, testing's t.Fatal*) that end a path
+// without reaching the function exit.
+//
+// The graph is deliberately conservative where Go is dynamic: goto ends
+// its path (no edge is added, so analyses neither follow nor invent the
+// jump), and nested function literals are opaque single nodes — each
+// literal gets its own CFG when the analyzer asks for one.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line run of statements. Nodes holds the
+// statements (and loop/select heads) in source order; Succs the
+// control-flow successors.
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+	Index int // position in CFG.Blocks, for deterministic iteration
+}
+
+// CFG is the control-flow graph of one function body. Entry is where
+// execution starts; Exit is the single synthetic exit block every
+// return statement and fall-off-the-end path feeds. Exit holds no
+// nodes. Blocks lists every block (reachable or not) in creation order.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// BuildCFG constructs the control-flow graph of body. A nil body (a
+// declared-only function) yields a trivial Entry→Exit graph.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &builder{g: &CFG{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.link(b.cur, b.g.Exit)
+	return b.g
+}
+
+// Reachable returns the set of blocks reachable from Entry. Analyses
+// seed their worklists from this set so statements after a return (or a
+// terminating call) never contribute state.
+func (g *CFG) Reachable() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if seen[blk] {
+			return
+		}
+		seen[blk] = true
+		for _, s := range blk.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label    string
+	breakTo  *Block
+	contTo   *Block // nil for switch/select frames
+	isSwitch bool
+}
+
+type builder struct {
+	g      *CFG
+	cur    *Block
+	frames []frame
+	label  string // pending label from an enclosing *ast.LabeledStmt
+}
+
+func (b *builder) newBlock(preds ...*Block) *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	for _, p := range preds {
+		b.link(p, blk)
+	}
+	return blk
+}
+
+func (b *builder) link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// dead parks the builder on a fresh predecessor-less block: the
+// statements after a return/branch are recorded but unreachable.
+func (b *builder) dead() {
+	b.cur = b.newBlock()
+}
+
+// takeLabel consumes the pending statement label (set by LabeledStmt)
+// so it binds to the construct being built.
+func (b *builder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+// findFrame resolves a break/continue target: the innermost matching
+// frame, or the innermost loop frame for an unlabeled continue.
+func (b *builder) findFrame(label string, cont bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if label != "" && f.label != label {
+			continue
+		}
+		if cont && f.contTo == nil {
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock(cond)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		thenEnd := b.cur
+		after := b.newBlock()
+		if s.Else != nil {
+			els := b.newBlock(cond)
+			b.cur = els
+			b.stmt(s.Else)
+			b.link(b.cur, after)
+		} else {
+			b.link(cond, after)
+		}
+		b.link(thenEnd, after)
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock(b.cur)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.link(head, after)
+		}
+		contTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.link(post, head)
+			contTo = post
+		}
+		b.frames = append(b.frames, frame{label: label, breakTo: after, contTo: contTo})
+		body := b.newBlock(head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.link(b.cur, contTo)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s) // the range head: analyses see the iterated expression
+		head := b.newBlock(b.cur)
+		after := b.newBlock()
+		b.link(head, after) // zero iterations
+		b.frames = append(b.frames, frame{label: label, breakTo: after, contTo: head})
+		body := b.newBlock(head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.link(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.add(s) // the select head itself: a blocking point
+		head := b.cur
+		after := b.newBlock()
+		b.frames = append(b.frames, frame{label: label, breakTo: after, isSwitch: true})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock(head)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.link(b.cur, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if len(s.Body.List) == 0 {
+			// select {} blocks forever: no path continues.
+			b.dead()
+			return
+		}
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.link(b.cur, b.g.Exit)
+		b.dead()
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.findFrame(labelName(s), false); f != nil {
+				b.link(b.cur, f.breakTo)
+			}
+			b.dead()
+		case token.CONTINUE:
+			if f := b.findFrame(labelName(s), true); f != nil {
+				b.link(b.cur, f.contTo)
+			}
+			b.dead()
+		case token.GOTO:
+			// Conservative: the path ends here rather than inventing an
+			// edge to a label the builder has not resolved.
+			b.dead()
+		case token.FALLTHROUGH:
+			// Handled by switchStmt, which links case bodies; reaching
+			// here (malformed code) just ends the path.
+			b.dead()
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminatingCall(s.X) {
+			b.dead()
+		}
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.DeferStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		if s != nil {
+			b.add(s)
+		}
+	}
+}
+
+// switchStmt builds expression and type switches: each case body is a
+// block branching from the head, with fallthrough linking consecutive
+// bodies and a missing default linking the head straight to after.
+func (b *builder) switchStmt(s ast.Stmt) {
+	label := b.takeLabel()
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		body = s.Body
+	}
+	head := b.cur
+	after := b.newBlock()
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.link(head, after)
+	}
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock(head)
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: after, isSwitch: true})
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				if i+1 < len(blocks) {
+					b.link(b.cur, blocks[i+1])
+				}
+				b.dead()
+				continue
+			}
+			b.stmt(st)
+		}
+		b.link(b.cur, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label == nil {
+		return ""
+	}
+	return s.Label.Name
+}
+
+// isTerminatingCall reports whether the expression statement is a call
+// that never returns, syntactically: panic(...), os.Exit, log.Fatal*,
+// log.Panic*, runtime.Goexit, and the testing Fatal/FailNow family.
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		switch name {
+		case "Exit":
+			if id, ok := fun.X.(*ast.Ident); ok && id.Name == "os" {
+				return true
+			}
+		case "Goexit":
+			if id, ok := fun.X.(*ast.Ident); ok && id.Name == "runtime" {
+				return true
+			}
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow",
+			"Fatalln", "Panic", "Panicf", "Panicln":
+			return true
+		}
+	}
+	return false
+}

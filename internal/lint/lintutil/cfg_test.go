@@ -1,0 +1,250 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFor parses src as the body of a function and returns its CFG.
+func buildFor(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// exitReachable reports whether Exit is reachable from Entry.
+func exitReachable(g *CFG) bool {
+	return g.Reachable()[g.Exit]
+}
+
+// reachableNode reports whether any reachable block contains a node for
+// which pred returns true.
+func reachableNode(g *CFG, pred func(ast.Node) bool) bool {
+	for blk := range g.Reachable() {
+		for _, n := range blk.Nodes {
+			if pred(n) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isCallNamed(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		es, ok := n.(ast.Stmt)
+		if !ok {
+			return false
+		}
+		e, ok := es.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := e.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildFor(t, "a()\nb()")
+	if !exitReachable(g) {
+		t.Fatal("exit unreachable in straight-line code")
+	}
+	if !reachableNode(g, isCallNamed("b")) {
+		t.Fatal("b() not reachable")
+	}
+}
+
+func TestCFGNilBody(t *testing.T) {
+	g := BuildCFG(nil)
+	if !exitReachable(g) {
+		t.Fatal("nil body must connect entry to exit")
+	}
+}
+
+func TestCFGReturnKillsTail(t *testing.T) {
+	g := buildFor(t, "a()\nreturn\nb()")
+	if reachableNode(g, isCallNamed("b")) {
+		t.Fatal("statement after return must be unreachable")
+	}
+	if !exitReachable(g) {
+		t.Fatal("return must reach exit")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g := buildFor(t, `panic("x")`)
+	if exitReachable(g) {
+		t.Fatal("panic-only body must not reach exit")
+	}
+	g = buildFor(t, "os.Exit(1)\nb()")
+	if reachableNode(g, isCallNamed("b")) {
+		t.Fatal("statement after os.Exit must be unreachable")
+	}
+}
+
+func TestCFGIfBranches(t *testing.T) {
+	// Both arms reachable, merge reaches exit.
+	g := buildFor(t, "if c {\n\ta()\n} else {\n\tb()\n}\nd()")
+	for _, name := range []string{"a", "b", "d"} {
+		if !reachableNode(g, isCallNamed(name)) {
+			t.Fatalf("%s() not reachable", name)
+		}
+	}
+	if !exitReachable(g) {
+		t.Fatal("exit unreachable after if/else merge")
+	}
+	// If without else: skipping the then-arm still reaches the tail.
+	g = buildFor(t, "if c {\n\treturn\n}\nd()")
+	if !reachableNode(g, isCallNamed("d")) {
+		t.Fatal("tail after if-return not reachable via false branch")
+	}
+	// Both arms return: tail dead.
+	g = buildFor(t, "if c {\n\treturn\n} else {\n\treturn\n}\nd()")
+	if reachableNode(g, isCallNamed("d")) {
+		t.Fatal("tail after both-arms-return must be unreachable")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	// Conditional loop: body and tail both reachable; body loops back.
+	g := buildFor(t, "for i := 0; i < n; i++ {\n\ta()\n}\nb()")
+	if !reachableNode(g, isCallNamed("a")) || !reachableNode(g, isCallNamed("b")) {
+		t.Fatal("loop body or tail not reachable")
+	}
+	// Infinite loop without break: tail dead.
+	g = buildFor(t, "for {\n\ta()\n}\nb()")
+	if reachableNode(g, isCallNamed("b")) {
+		t.Fatal("tail after for{} must be unreachable")
+	}
+	if exitReachable(g) {
+		t.Fatal("for{} with no break must not reach exit")
+	}
+	// Infinite loop with break: tail live again.
+	g = buildFor(t, "for {\n\tif c {\n\t\tbreak\n\t}\n}\nb()")
+	if !reachableNode(g, isCallNamed("b")) {
+		t.Fatal("break must make the tail reachable")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildFor(t, "outer:\nfor {\n\tfor {\n\t\tbreak outer\n\t}\n}\nb()")
+	if !reachableNode(g, isCallNamed("b")) {
+		t.Fatal("labeled break must escape both loops")
+	}
+	// Unlabeled break only escapes the inner loop: tail stays dead.
+	g = buildFor(t, "for {\n\tfor {\n\t\tbreak\n\t}\n}\nb()")
+	if reachableNode(g, isCallNamed("b")) {
+		t.Fatal("unlabeled break must not escape the outer for{}")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	g := buildFor(t, "for range xs {\n\ta()\n}\nb()")
+	if !reachableNode(g, isCallNamed("a")) || !reachableNode(g, isCallNamed("b")) {
+		t.Fatal("range body or tail not reachable")
+	}
+	if !exitReachable(g) {
+		t.Fatal("exit unreachable after range")
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	// No default: head links to after, so the tail is reachable even if
+	// every case returns.
+	g := buildFor(t, "switch x {\ncase 1:\n\treturn\n}\nb()")
+	if !reachableNode(g, isCallNamed("b")) {
+		t.Fatal("switch without default must fall through to tail")
+	}
+	// Default present and all cases return: tail dead.
+	g = buildFor(t, "switch x {\ncase 1:\n\treturn\ndefault:\n\treturn\n}\nb()")
+	if reachableNode(g, isCallNamed("b")) {
+		t.Fatal("exhaustive returning switch must kill the tail")
+	}
+	// Fallthrough links consecutive case bodies.
+	g = buildFor(t, "switch x {\ncase 1:\n\tfallthrough\ncase 2:\n\ta()\n\treturn\ndefault:\n\treturn\n}\nb()")
+	if !reachableNode(g, isCallNamed("a")) {
+		t.Fatal("fallthrough target not reachable")
+	}
+	if reachableNode(g, isCallNamed("b")) {
+		t.Fatal("tail must stay dead despite fallthrough")
+	}
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	g := buildFor(t, "switch v := x.(type) {\ncase int:\n\ta()\ndefault:\n\t_ = v\n}\nb()")
+	if !reachableNode(g, isCallNamed("a")) || !reachableNode(g, isCallNamed("b")) {
+		t.Fatal("type switch case or tail not reachable")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	// Each comm clause is its own block; after is reachable.
+	g := buildFor(t, "select {\ncase <-c1:\n\ta()\ncase <-c2:\n\treturn\n}\nb()")
+	if !reachableNode(g, isCallNamed("a")) || !reachableNode(g, isCallNamed("b")) {
+		t.Fatal("select clause or tail not reachable")
+	}
+	// Empty select blocks forever.
+	g = buildFor(t, "select {}\nb()")
+	if reachableNode(g, isCallNamed("b")) || exitReachable(g) {
+		t.Fatal("select{} must terminate the path")
+	}
+	// The select head node itself must be visible to analyses.
+	g = buildFor(t, "select {\ncase <-c1:\n}")
+	if !reachableNode(g, func(n ast.Node) bool { _, ok := n.(*ast.SelectStmt); return ok }) {
+		t.Fatal("select head not recorded as a node")
+	}
+}
+
+func TestCFGContinue(t *testing.T) {
+	// continue jumps to the post statement; the statement after it in
+	// the body is dead, but the loop still iterates and exits.
+	g := buildFor(t, "for i := 0; i < n; i++ {\n\tif c {\n\t\tcontinue\n\t}\n\ta()\n}\nb()")
+	if !reachableNode(g, isCallNamed("a")) || !reachableNode(g, isCallNamed("b")) {
+		t.Fatal("loop with continue lost reachability")
+	}
+	g = buildFor(t, "for i := 0; i < n; i++ {\n\tcontinue\n\ta()\n}\nb()")
+	if reachableNode(g, isCallNamed("a")) {
+		t.Fatal("statement after unconditional continue must be dead")
+	}
+	if !reachableNode(g, isCallNamed("b")) {
+		t.Fatal("loop with continue must still exit via the condition")
+	}
+}
+
+func TestCFGGotoEndsPath(t *testing.T) {
+	g := buildFor(t, "goto L\na()\nL:\nb()")
+	if reachableNode(g, isCallNamed("a")) {
+		t.Fatal("statement after goto must be dead")
+	}
+}
+
+func TestCFGFuncLitOpaque(t *testing.T) {
+	// A return inside a nested literal must not create an edge to the
+	// outer exit or kill the outer tail.
+	g := buildFor(t, "f := func() {\n\treturn\n}\nf()\nb()")
+	if !reachableNode(g, isCallNamed("b")) {
+		t.Fatal("nested FuncLit return leaked into outer CFG")
+	}
+}
+
+func TestCFGBlocksDeterministic(t *testing.T) {
+	g := buildFor(t, "if c {\n\ta()\n}\nfor range xs {\n\tb()\n}")
+	for i, blk := range g.Blocks {
+		if blk.Index != i {
+			t.Fatalf("block %d has Index %d", i, blk.Index)
+		}
+	}
+}

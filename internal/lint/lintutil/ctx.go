@@ -1,0 +1,179 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// FuncHasCtxParam reports whether the function type carries a
+// context.Context parameter, and returns its name if so.
+func FuncHasCtxParam(info *types.Info, ft *ast.FuncType) (string, bool) {
+	if ft == nil || ft.Params == nil {
+		return "", false
+	}
+	for _, field := range ft.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil || !IsContextType(t) {
+			continue
+		}
+		if len(field.Names) > 0 {
+			return field.Names[0].Name, true
+		}
+		return "", true
+	}
+	return "", false
+}
+
+// IsDoneChan reports whether e is an expression conventionally carrying
+// a termination signal: a call to Done()/Dying() on anything (most
+// importantly a context.Context), or an identifier/selector whose name
+// suggests a quit channel.
+func IsDoneChan(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Done" || sel.Sel.Name == "Dying"
+		}
+	case *ast.Ident:
+		return isQuitName(e.Name)
+	case *ast.SelectorExpr:
+		return isQuitName(e.Sel.Name)
+	}
+	return false
+}
+
+func isQuitName(name string) bool {
+	switch name {
+	case "done", "quit", "stop", "halt", "closed", "shutdown", "cancel", "stopc", "donec", "quitc":
+		return true
+	}
+	return false
+}
+
+// SelectHasDoneCase reports whether the select statement has a comm
+// clause receiving from a done-style channel — canonically
+// `case <-ctx.Done():`. Both the bare receive (`<-ch`) and the
+// assignment form (`v := <-ch`) are recognized.
+func SelectHasDoneCase(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+				recv = u.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if u, ok := comm.Rhs[0].(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+					recv = u.X
+				}
+			}
+		}
+		if recv != nil && IsDoneChan(recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// BufferedChans scans a function body for `make(chan T, n)` calls with
+// a provably non-zero capacity and returns the objects of the variables
+// they are bound to. Analyses use this to distinguish sends that cannot
+// block (buffered terminal results) from rendezvous sends.
+func BufferedChans(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if body == nil {
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isBufferedMake(info, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := objOf(info, id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// IsBufferedChanExpr reports whether e names a channel recorded in
+// buffered, or is itself a buffered make expression.
+func IsBufferedChanExpr(info *types.Info, buffered map[types.Object]bool, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if isBufferedMake(info, e) {
+		return true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := objOf(info, id); obj != nil {
+			return buffered[obj]
+		}
+	}
+	return false
+}
+
+func isBufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, ok := info.TypeOf(call.Args[0]).Underlying().(*types.Chan); !ok {
+		return false
+	}
+	// A constant zero capacity is unbuffered; any other expression is
+	// assumed buffered (runtime-sized worker pools and the like).
+	if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+		return tv.Value.String() != "0"
+	}
+	return true
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil
+// for calls through function values, builtins, and conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := objOf(info, id).(*types.Func)
+	return fn
+}

@@ -1,0 +1,448 @@
+// Package locksafe walks each function's control-flow graph tracking
+// which mutexes may be held, and enforces three invariants the campaign
+// server's lock discipline rests on:
+//
+//  1. No path returns (or falls off the end) with a lock still held,
+//     unless the matching unlock is deferred or the function's name ends
+//     in "Locked" (the repo's convention for caller-holds-the-lock
+//     helpers, which get the receiver's mutex as an assumed entry hold).
+//
+//  2. No blocking operation runs while a lock may be held: channel sends
+//     and receives, range-over-channel, selects without a default,
+//     WaitGroup.Wait, time.Sleep, and net/http calls all stall every
+//     other contender for the campaign's hot mutexes. sync.Cond.Wait is
+//     the sanctioned exception when used idiomatically — inside a for
+//     loop re-checking its predicate, with the mutex held; Wait with no
+//     mutex held, or outside a loop, is a finding.
+//
+//  3. The *Locked naming contract: calling x.somethingLocked(...)
+//     requires a lock on x (some x.* mutex may-held at the call site),
+//     so the convention documented on the server's campaign helpers is
+//     checked, not just commented.
+//
+// The analysis is intraprocedural and may-held (union over paths), so a
+// lock taken on one branch taints the merge: a blocking op after the
+// merge is a finding even if some path is lock-free — exactly the
+// hazard that matters under contention. Exemptions use the standard
+// escape hatch, reason mandatory:
+//
+//	//lint:allow locksafe -- <reason>
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/lint/directive"
+	"repro/internal/lint/lintutil"
+)
+
+const name = "locksafe"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "locks released on every path; no blocking ops while holding a mutex; *Locked call contract",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var (
+	pkgs      = "repro/internal/server,repro/internal/harness,repro/internal/batch,repro/internal/mpi"
+	testFiles = false
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgs, "pkgs", pkgs,
+		"comma-separated package path suffixes to check (empty checks every package)")
+	Analyzer.Flags.BoolVar(&testFiles, "tests", testFiles, "also check _test.go files")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.PkgMatches(pass, pkgs) {
+		return nil, nil
+	}
+	allows := directive.Collect(pass, name)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || (!testFiles && lintutil.InTestFile(pass, fd.Pos())) {
+			return
+		}
+		analyzeFunc(pass, allows, fd, fd.Name.Name, recvName(fd), fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				analyzeFunc(pass, allows, fd, "", "", lit.Body)
+			}
+			return true
+		})
+	})
+
+	allows.ReportUnused()
+	return nil, nil
+}
+
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// held is the may-held lock state: key (e.g. "s.mu") → true.
+type held map[string]bool
+
+func (h held) clone() held {
+	out := make(held, len(h))
+	for k := range h {
+		out[k] = true
+	}
+	return out
+}
+
+func (h held) keys() string {
+	ks := make([]string, 0, len(h))
+	for k := range h {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ", ")
+}
+
+// analyzer carries the per-function state shared by the fixpoint and
+// reporting passes.
+type analyzer struct {
+	pass      *analysis.Pass
+	allows    *directive.Index
+	fd        *ast.FuncDecl // enclosing declaration, for func-doc directives
+	deferred  held          // keys released by a defer somewhere in the function
+	synthetic held          // assumed entry holds of a *Locked helper
+	condInFor map[token.Pos]bool
+	commStmts map[ast.Node]bool // select comm statements: their send/recv is select-mediated
+	reporting bool
+	quiet     bool // suppress blocking reports (inside a select comm)
+}
+
+func analyzeFunc(pass *analysis.Pass, allows *directive.Index, fd *ast.FuncDecl, fname, recv string, body *ast.BlockStmt) {
+	a := &analyzer{
+		pass:      pass,
+		allows:    allows,
+		fd:        fd,
+		deferred:  held{},
+		synthetic: held{},
+		condInFor: map[token.Pos]bool{},
+		commStmts: map[ast.Node]bool{},
+	}
+	// Send/receive statements in select comm position block only as much
+	// as their select does; the select head is checked instead.
+	sameFunc(body, func(n ast.Node) {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, c := range sel.Body.List {
+				if cc := c.(*ast.CommClause); cc.Comm != nil {
+					a.commStmts[cc.Comm] = true
+				}
+			}
+		}
+	})
+	// Deferred unlocks release at every exit, wherever the defer sits.
+	sameFunc(body, func(n ast.Node) {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return
+		}
+		if key, locks := a.lockOp(ds.Call); key != "" && !locks {
+			a.deferred[key] = true
+		}
+	})
+	// cond.Wait calls inside a for loop (the predicate-recheck idiom).
+	sameFunc(body, func(n ast.Node) {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok {
+			return
+		}
+		sameFunc(fs.Body, func(n ast.Node) {
+			if call, ok := n.(*ast.CallExpr); ok && a.isCondWait(call) {
+				a.condInFor[call.Pos()] = true
+			}
+		})
+	})
+	entry := held{}
+	if recv != "" && strings.HasSuffix(fname, "Locked") {
+		key := recv + ".mu"
+		entry[key] = true
+		a.synthetic[key] = true
+	}
+
+	g := lintutil.BuildCFG(body)
+	reach := g.Reachable()
+	in := map[*lintutil.Block]held{g.Entry: entry}
+	out := map[*lintutil.Block]held{}
+
+	// May-held fixpoint: union at merges, monotone, so it terminates.
+	work := []*lintutil.Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := in[blk].clone()
+		for _, n := range blk.Nodes {
+			a.transfer(n, st)
+		}
+		prev, seen := out[blk]
+		if seen && subset(st, prev) {
+			continue
+		}
+		merged := st
+		if seen {
+			merged = prev.clone()
+			for k := range st {
+				merged[k] = true
+			}
+		}
+		out[blk] = merged
+		for _, s := range blk.Succs {
+			ns := merged.clone()
+			if cur, ok := in[s]; ok {
+				for k := range cur {
+					ns[k] = true
+				}
+			}
+			in[s] = ns
+			work = append(work, s)
+		}
+	}
+
+	// Reporting pass: one sweep over the reachable blocks with the
+	// converged entry states.
+	a.reporting = true
+	for _, blk := range g.Blocks {
+		if !reach[blk] {
+			continue
+		}
+		st := in[blk].clone()
+		var last ast.Node
+		for _, n := range blk.Nodes {
+			a.transfer(n, st)
+			last = n
+		}
+		if hasSucc(blk, g.Exit) {
+			if _, isReturn := last.(*ast.ReturnStmt); !isReturn {
+				a.checkExit(body.Rbrace, st)
+			}
+		}
+	}
+}
+
+func subset(a, b held) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasSucc(blk, target *lintutil.Block) bool {
+	for _, s := range blk.Succs {
+		if s == target {
+			return true
+		}
+	}
+	return false
+}
+
+// transfer simulates one CFG node over st, reporting findings when in
+// the reporting pass. Traversal is preorder, which matches source order
+// for the expression shapes a statement can hold.
+func (a *analyzer) transfer(node ast.Node, st held) {
+	if a.commStmts[node] {
+		a.quiet = true
+		defer func() { a.quiet = false }()
+	}
+	switch n := node.(type) {
+	case *ast.RangeStmt:
+		// Only the head: the body's statements live in their own blocks.
+		if t := a.pass.TypesInfo.TypeOf(n.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				a.blocked(n.Pos(), "range over channel", st)
+			}
+		}
+		a.walk(n.X, st)
+		return
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range n.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			a.blocked(n.Pos(), "blocking select", st)
+		}
+		return // comm and body statements live in the case blocks
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			a.walk(r, st)
+		}
+		a.checkExit(n.Pos(), st)
+		return
+	case *ast.DeferStmt:
+		// A deferred unlock must not change the in-line state; other
+		// deferred calls cannot block at this point either.
+		for _, arg := range n.Call.Args {
+			a.walk(arg, st)
+		}
+		return
+	}
+	a.walk(node, st)
+}
+
+// walk inspects an expression or simple statement for lock transitions
+// and blocking operations, skipping nested function literals.
+func (a *analyzer) walk(node ast.Node, st held) {
+	if node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			a.blocked(n.Pos(), "channel send", st)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				a.blocked(n.Pos(), "channel receive", st)
+			}
+		case *ast.CallExpr:
+			a.call(n, st)
+		}
+		return true
+	})
+}
+
+func (a *analyzer) call(call *ast.CallExpr, st held) {
+	if key, locks := a.lockOp(call); key != "" {
+		if locks {
+			st[key] = true
+		} else {
+			delete(st, key)
+		}
+		return
+	}
+	fn := lintutil.CalleeFunc(a.pass.TypesInfo, call)
+	if fn != nil {
+		switch {
+		case a.isCondWait(call):
+			if !a.reporting {
+				return
+			}
+			if len(st) == 0 {
+				a.report(call.Pos(), "sync.Cond.Wait with no mutex may-held: Wait requires its locker locked — or //lint:allow locksafe -- reason")
+			} else if !a.condInFor[call.Pos()] {
+				a.report(call.Pos(), "sync.Cond.Wait outside a for loop: spurious wakeups require re-checking the predicate in a loop — or //lint:allow locksafe -- reason")
+			}
+			return
+		case fn.FullName() == "(*sync.WaitGroup).Wait":
+			a.blocked(call.Pos(), "WaitGroup.Wait", st)
+			return
+		case fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+			a.blocked(call.Pos(), "time.Sleep", st)
+			return
+		case fn.Pkg() != nil && (fn.Pkg().Path() == "net/http" || fn.Pkg().Path() == "net"):
+			a.blocked(call.Pos(), "network call", st)
+			return
+		}
+	}
+	// The *Locked naming contract.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && strings.HasSuffix(sel.Sel.Name, "Locked") {
+		if a.reporting {
+			prefix := types.ExprString(sel.X) + "."
+			ok := false
+			for k := range st {
+				if strings.HasPrefix(k, prefix) {
+					ok = true
+				}
+			}
+			if !ok {
+				a.report(call.Pos(), "call to %s requires a lock on %s (the *Locked naming contract): acquire its mutex first — or //lint:allow locksafe -- reason", types.ExprString(call.Fun), types.ExprString(sel.X))
+			}
+		}
+	}
+}
+
+// lockOp classifies call as a sync lock transition, returning the lock
+// key ("s.mu") and whether it acquires (Lock/RLock) or releases.
+func (a *analyzer) lockOp(call *ast.CallExpr) (key string, locks bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := a.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false
+	}
+	return "", false
+}
+
+func (a *analyzer) isCondWait(call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(a.pass.TypesInfo, call)
+	return fn != nil && fn.FullName() == "(*sync.Cond).Wait"
+}
+
+// blocked reports a blocking operation when some lock may be held.
+// Synthetic *Locked entry holds count: the caller really does hold them.
+func (a *analyzer) blocked(pos token.Pos, what string, st held) {
+	if !a.reporting || a.quiet || len(st) == 0 {
+		return
+	}
+	a.report(pos, "%s while holding %s: a blocked holder stalls every contender — release the lock around blocking operations, or //lint:allow locksafe -- reason", what, st.keys())
+}
+
+// checkExit reports locks still may-held at a return or fall-off point,
+// net of deferred releases and the *Locked entry assumption.
+func (a *analyzer) checkExit(pos token.Pos, st held) {
+	if !a.reporting {
+		return
+	}
+	leaked := held{}
+	for k := range st {
+		if !a.deferred[k] && !a.synthetic[k] {
+			leaked[k] = true
+		}
+	}
+	if len(leaked) > 0 {
+		a.report(pos, "returns with %s held: unlock on every path or defer the unlock — or //lint:allow locksafe -- reason", leaked.keys())
+	}
+}
+
+func (a *analyzer) report(pos token.Pos, format string, args ...interface{}) {
+	if a.allows.Allowed(pos) || a.allows.AllowedFunc(a.fd) {
+		return
+	}
+	a.pass.Reportf(pos, format, args...)
+}
+
+// sameFunc walks body without descending into nested function literals.
+func sameFunc(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,13 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	linttest.SetFlags(t, locksafe.Analyzer, map[string]string{"pkgs": ""})
+	linttest.Run(t, "testdata/src/a", "a", locksafe.Analyzer)
+}

@@ -1,0 +1,151 @@
+// Package a exercises locksafe: lock-leaking return paths, blocking
+// operations while holding a mutex, the sync.Cond idiom, the *Locked
+// naming contract, and the escape hatch with stale detection.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	n    int
+}
+
+func (b *box) leakReturn() int {
+	b.mu.Lock()
+	return b.n // want `returns with b.mu held`
+}
+
+func (b *box) leakFallOff() {
+	b.mu.Lock()
+	b.n++
+} // want `returns with b.mu held`
+
+func (b *box) leakBranch(c bool) {
+	b.mu.Lock()
+	if c {
+		b.mu.Unlock()
+		return
+	}
+	return // want `returns with b.mu held`
+}
+
+func (b *box) rlockLeak() int {
+	b.rw.RLock()
+	return b.n // want `returns with b.rw held`
+}
+
+func (b *box) deferredIsClean() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b *box) explicitEveryPath(c bool) {
+	b.mu.Lock()
+	if c {
+		b.n++
+	}
+	b.mu.Unlock()
+}
+
+// A lock taken on one branch taints the merge: may-held is a union.
+func (b *box) mayHeldMerge(c bool, ch chan int) {
+	if c {
+		b.mu.Lock()
+	}
+	ch <- 1 // want `channel send while holding b.mu`
+	b.mu.Unlock()
+}
+
+func (b *box) blockingOps(ch chan int, wg *sync.WaitGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch <- 1                      // want `channel send while holding b.mu`
+	<-ch                         // want `channel receive while holding b.mu`
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding b.mu`
+	wg.Wait()                    // want `WaitGroup.Wait while holding b.mu`
+	for range ch {               // want `range over channel while holding b.mu`
+	}
+	select { // want `blocking select while holding b.mu`
+	case v := <-ch:
+		_ = v
+	}
+}
+
+func (b *box) nonBlockingSelect(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func (b *box) releasedFirst(ch chan int) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	ch <- b.n
+}
+
+func (b *box) condIdiom() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.n == 0 {
+		b.cond.Wait()
+	}
+}
+
+func (b *box) condOutsideLoop() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cond.Wait() // want `sync.Cond.Wait outside a for loop`
+}
+
+func (b *box) condWithoutMutex() {
+	b.cond.Wait() // want `sync.Cond.Wait with no mutex may-held`
+}
+
+// bumpLocked documents (by name) that callers hold b's mutex.
+func (b *box) bumpLocked() {
+	b.n++
+}
+
+func (b *box) callsHelperUnlocked() {
+	b.bumpLocked() // want `call to b.bumpLocked requires a lock on b`
+	b.mu.Lock()
+	b.bumpLocked()
+	b.mu.Unlock()
+}
+
+// helperLocked inherits the caller's hold: returning held is fine,
+// blocking while the caller's lock is held is not.
+func (b *box) helperLocked(ch chan int) {
+	b.bumpLocked()
+	ch <- 1 // want `channel send while holding b.mu`
+}
+
+func (b *box) inClosure(ch chan int) func() {
+	return func() {
+		b.mu.Lock()
+		ch <- 1 // want `channel send while holding b.mu`
+		b.mu.Unlock()
+	}
+}
+
+func (b *box) excused(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:allow locksafe -- ch is buffered by the caller; the send cannot block
+	ch <- 1
+}
+
+func (b *box) staleHatch() {
+	//lint:allow locksafe -- nothing blocking here anymore // want `unused //lint:allow locksafe directive`
+	b.n++
+}

@@ -13,23 +13,41 @@ import (
 	"golang.org/x/tools/go/analysis"
 
 	"repro/internal/lint/allocfree"
+	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/detrange"
+	"repro/internal/lint/directive"
 	"repro/internal/lint/floatcmp"
+	"repro/internal/lint/golife"
+	"repro/internal/lint/hashpure"
+	"repro/internal/lint/locksafe"
 	"repro/internal/lint/satarith"
 	"repro/internal/lint/seedflow"
 	"repro/internal/lint/walltime"
 )
 
-// All returns the repo's analyzer suite in stable order.
+// All returns the repo's analyzer suite in stable order, and tells the
+// directive validator which analyzer names a //lint:allow may address
+// (directive cannot import this package without a cycle).
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{
+	as := []*analysis.Analyzer{
 		allocfree.Analyzer,
+		ctxflow.Analyzer,
 		detrange.Analyzer,
 		floatcmp.Analyzer,
+		golife.Analyzer,
+		hashpure.Analyzer,
+		directive.Analyzer, // lintdirective
+		locksafe.Analyzer,
 		satarith.Analyzer,
 		seedflow.Analyzer,
 		walltime.Analyzer,
 	}
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	directive.Known = names
+	return as
 }
 
 // jsonDiag is the -json wire form of one finding, with module-relative

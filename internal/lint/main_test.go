@@ -20,6 +20,12 @@ var ungate = []string{
 	"-walltime.pkgs=",
 	"-floatcmp.nanpkgs=",
 	"-satarith.types=repro/internal/lint/testdata/src/sample.Rates,repro/internal/lint/testdata/src/sampleallow.Rates",
+	"-ctxflow.pkgs=",
+	"-golife.pkgs=",
+	"-locksafe.pkgs=",
+	"-hashpure.pkgs=",
+	"-hashpure.typ=repro/internal/lint/testdata/src/sample.Spec,repro/internal/lint/testdata/src/sampleallow.Spec",
+	"-hashpure.sinks=repro/internal/lint/testdata/src/sample.hashSpec,repro/internal/lint/testdata/src/sampleallow.hashSpec",
 }
 
 // snapshotFlags restores every analyzer flag Main may mutate, so tests
@@ -109,9 +115,38 @@ func TestDisableFlag(t *testing.T) {
 	if strings.Contains(stdout, "(floatcmp)") {
 		t.Errorf("floatcmp finding reported despite -floatcmp=false:\n%s", stdout)
 	}
-	for _, want := range []string{"(allocfree)", "(detrange)", "(satarith)", "(seedflow)", "(walltime)"} {
+	for _, want := range []string{
+		"(allocfree)", "(ctxflow)", "(detrange)", "(golife)", "(hashpure)",
+		"(lintdirective)", "(locksafe)", "(satarith)", "(seedflow)", "(walltime)",
+	} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("missing %s finding:\n%s", want, stdout)
 		}
+	}
+}
+
+// TestExitCodes pins the sdcvet exit-code contract CI depends on:
+// 0 clean tree, 1 findings, 2 usage or load failure.
+func TestExitCodes(t *testing.T) {
+	base := append([]string{"-dir", moduleRoot(t)}, ungate...)
+
+	exit, _, stderr := runMain(t, append(base, "repro/internal/lint/testdata/src/sampleallow")...)
+	if exit != 0 {
+		t.Errorf("clean package: exit = %d, want 0; stderr: %s", exit, stderr)
+	}
+
+	exit, _, _ = runMain(t, append(base, "repro/internal/lint/testdata/src/sample")...)
+	if exit != 1 {
+		t.Errorf("package with findings: exit = %d, want 1", exit)
+	}
+
+	exit, _, _ = runMain(t, "-definitely-not-a-flag")
+	if exit != 2 {
+		t.Errorf("unknown flag: exit = %d, want 2", exit)
+	}
+
+	exit, _, _ = runMain(t, "-dir", moduleRoot(t), "repro/internal/lint/testdata/src/nonexistent")
+	if exit != 2 {
+		t.Errorf("unloadable package: exit = %d, want 2", exit)
 	}
 }

@@ -3,6 +3,8 @@
 package sample
 
 import (
+	"context"
+	"sync"
 	"time"
 
 	"repro/internal/xrand"
@@ -39,3 +41,41 @@ func stamp() time.Time {
 func hotStep(n int) []float64 {
 	return make([]float64, n) // allocfree
 }
+
+// Spec is named by -hashpure.typ in the golden test; hashSpec by
+// -hashpure.sinks.
+type Spec struct {
+	Problem string
+	Workers int
+}
+
+func hashSpec(s Spec) []byte {
+	return append([]byte(s.Problem), byte(s.Workers)) // hashpure
+}
+
+func fetchAll() int {
+	ctx := context.Background() // ctxflow
+	_ = ctx
+	return 0
+}
+
+var results = make(chan int)
+
+func spawn() {
+	go func() { // golife
+		results <- 1
+	}()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) peek() int {
+	c.mu.Lock()
+	return c.n // locksafe
+}
+
+//lint:allow waltime -- typo'd analyzer name: suppresses nothing (lintdirective)
+func typoHatch() {}

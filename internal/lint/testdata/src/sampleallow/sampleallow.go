@@ -4,6 +4,8 @@
 package sampleallow
 
 import (
+	"context"
+	"sync"
 	"time"
 
 	"repro/internal/xrand"
@@ -43,4 +45,41 @@ func stamp() time.Time {
 func hotStep(n int) []float64 {
 	//lint:allow allocfree -- golden fixture: documented cold-start growth
 	return make([]float64, n)
+}
+
+type Spec struct {
+	Problem string
+	Workers int
+}
+
+func hashSpec(s Spec) []byte {
+	//lint:allow hashpure -- golden fixture: hint deliberately part of this digest
+	return append([]byte(s.Problem), byte(s.Workers))
+}
+
+func fetchAll() int {
+	//lint:allow ctxflow -- golden fixture: detached maintenance scope on purpose
+	ctx := context.Background()
+	_ = ctx
+	return 0
+}
+
+var results = make(chan int)
+
+func spawn() {
+	//lint:allow golife -- golden fixture: the test harness guarantees a receiver
+	go func() {
+		results <- 1
+	}()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) peek() int {
+	c.mu.Lock()
+	//lint:allow locksafe -- golden fixture: the caller releases via paired unlock
+	return c.n
 }

@@ -234,6 +234,7 @@ func (c *campaign) appendTraceLocked(trace *telemetry.Recorder) {
 		return
 	}
 	trace.Do(func(ev *telemetry.StepEvent) {
+		//lint:allow locksafe -- Do runs this closure synchronously inside appendTraceLocked, so the caller's c.mu (the *Locked contract) is held; the per-closure analysis cannot see across the call boundary
 		c.appendEventLocked(telemetry.AppendEvent(nil, ev))
 	})
 }

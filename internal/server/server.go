@@ -81,6 +81,7 @@ type Server struct {
 // New builds a Server and starts its worker pool.
 func New(opts Options) *Server {
 	opts.defaults()
+	//lint:allow ctxflow -- the server owns its root lifecycle: Shutdown cancels this context, and every campaign derives from it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:      opts,
@@ -159,8 +160,10 @@ func (s *Server) Submit(spec Spec) (*campaign, error) {
 		if doc, ok := s.cache.lookupCampaign(hash); ok {
 			c.cacheHit = true
 			c.result = doc
+			c.mu.Lock()
 			c.appendEventLocked(encodeSubmittedEvent(c))
 			c.finishLocked(StateDone, "")
+			c.mu.Unlock()
 			s.registerLocked(c)
 			s.mu.Unlock()
 			return c, nil
@@ -179,7 +182,9 @@ func (s *Server) Submit(spec Spec) (*campaign, error) {
 	for i, seed := range spec.Seeds {
 		c.shards = append(c.shards, &shard{c: c, idx: i, seed: seed, state: StateQueued})
 	}
+	c.mu.Lock()
 	c.appendEventLocked(encodeSubmittedEvent(c))
+	c.mu.Unlock()
 	s.registerLocked(c)
 	s.mu.Unlock()
 
