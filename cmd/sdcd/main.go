@@ -24,18 +24,30 @@ func main() {
 	queue := flag.Int("queue", 0, "pending shard queue capacity (0 = 4096)")
 	maxCampaigns := flag.Int("max-campaigns", 0, "retained campaign records (0 = 8192)")
 	cacheCap := flag.Int("cache", 0, "result cache entries per layer (0 = 4096)")
+	dataDir := flag.String("data-dir", "", "durability directory: journal + on-disk result store (empty = in-memory only)")
+	syncEvery := flag.Int("sync-every", 0, "fsync the journal every Nth record (0 = 1, every record)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "sdcd: unexpected arguments %q\n", flag.Args())
 		os.Exit(2)
 	}
 
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		PoolWorkers:  *workers,
 		QueueCap:     *queue,
 		MaxCampaigns: *maxCampaigns,
 		CacheCap:     *cacheCap,
+		DataDir:      *dataDir,
+		SyncEvery:    *syncEvery,
 	})
+	if err != nil {
+		log.Fatalf("sdcd: %v", err)
+	}
+	if *dataDir != "" {
+		st := srv.Stats()
+		log.Printf("sdcd: durable in %s: %d journal records, %d campaigns resumed, warmed %d campaigns + %d shards",
+			*dataDir, st.JournalRecords, st.Resumed, st.WarmedCampaigns, st.WarmedShards)
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,

@@ -53,7 +53,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 var (
-	pkgs = "repro/internal/server"
+	pkgs = "repro/internal/server,repro/internal/server/store"
 	typs = "repro/internal/server.Spec"
 	flds = "Workers,Batch,Trace,TraceCap"
 	sink = "repro/internal/server.Spec.appendCore," +

@@ -54,7 +54,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 var (
-	pkgs      = "repro/internal/server,repro/internal/harness,repro/internal/batch,repro/internal/mpi"
+	pkgs      = "repro/internal/server,repro/internal/server/store,repro/internal/harness,repro/internal/batch,repro/internal/mpi"
 	testFiles = false
 )
 

@@ -1,6 +1,11 @@
 package server
 
-import "sync"
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/server/store"
+)
 
 // resultCache is the content-addressed store that makes identical
 // submissions free: campaign hashes map to finished result documents
@@ -12,6 +17,13 @@ import "sync"
 // Entries are bounded FIFO: when a layer exceeds its cap the oldest entry
 // falls out. Content addressing makes eviction harmless — a re-miss
 // recomputes the identical bytes.
+//
+// With a backing store attached the cache is write-through and
+// read-through: stores persist to disk before returning, in-memory misses
+// consult the disk before counting as a miss, and warm preloads both
+// layers at startup. Eviction then only ever drops the in-memory copy —
+// the blob stays on disk and the next lookup reads it back instead of
+// recomputing.
 type resultCache struct {
 	mu           sync.Mutex
 	campaigns    map[string][]byte
@@ -19,11 +31,15 @@ type resultCache struct {
 	shards       map[string]*ShardReport
 	shardFIFO    []string
 	cap          int
+	disk         *store.Store // optional backing store; nil = memory only
 
-	hits, misses uint64 // campaign-level lookups
+	hits, misses           uint64 // campaign-level lookups
+	shardHits, shardMisses uint64 // shard-level lookups
+	diskHits               uint64 // lookups (either layer) served by reading the backing store
+	storeErrs              uint64 // failed write-throughs (the in-memory entry still lands)
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, disk *store.Store) *resultCache {
 	if capacity <= 0 {
 		capacity = 4096
 	}
@@ -31,28 +47,88 @@ func newResultCache(capacity int) *resultCache {
 		campaigns: make(map[string][]byte),
 		shards:    make(map[string]*ShardReport),
 		cap:       capacity,
+		disk:      disk,
 	}
 }
 
+// warm preloads both layers from the backing store in sorted key order
+// (deterministic across restarts), stopping at the cap — read-through
+// covers whatever does not fit. Returns the entries loaded per layer.
+func (c *resultCache) warm() (campaigns, shards int) {
+	if c.disk == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = c.disk.WalkCampaigns(func(hash string, doc []byte) error {
+		if len(c.campaignFIFO) >= c.cap {
+			return store.ErrStopWalk
+		}
+		//lint:allow locksafe -- WalkCampaigns runs this closure synchronously inside warm, which holds c.mu for the whole preload; the per-closure analysis cannot see across the call boundary
+		if c.putCampaignLocked(hash, doc) {
+			campaigns++
+		}
+		return nil
+	})
+	_ = c.disk.WalkShards(func(key string, data []byte) error {
+		if len(c.shardFIFO) >= c.cap {
+			return store.ErrStopWalk
+		}
+		rep := new(ShardReport)
+		if json.Unmarshal(data, rep) != nil {
+			return nil // unreadable blob: skip, the shard re-runs
+		}
+		//lint:allow locksafe -- WalkShards runs this closure synchronously inside warm, which holds c.mu for the whole preload; the per-closure analysis cannot see across the call boundary
+		if c.putShardLocked(key, rep) {
+			shards++
+		}
+		return nil
+	})
+	return campaigns, shards
+}
+
 // lookupCampaign returns the cached result document for hash, if present.
+// The returned slice is a defensive copy: the cache's copy (shared with
+// every past and future hit) must stay pristine even if a caller mutates
+// what it was handed.
 func (c *resultCache) lookupCampaign(hash string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	doc, ok := c.campaigns[hash]
-	if ok {
-		c.hits++
-	} else {
-		c.misses++
+	if !ok && c.disk != nil {
+		if d, found := c.disk.GetCampaign(hash); found {
+			c.putCampaignLocked(hash, d)
+			c.diskHits++
+			doc, ok = d, true
+		}
 	}
-	return doc, ok
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return append([]byte(nil), doc...), true
 }
 
-// storeCampaign records a finished campaign's result document.
+// storeCampaign records a finished campaign's result document, persisting
+// it to the backing store when one is attached.
 func (c *resultCache) storeCampaign(hash string, doc []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putCampaignLocked(hash, doc)
+	if c.disk != nil {
+		if err := c.disk.PutCampaign(hash, doc); err != nil {
+			c.storeErrs++
+		}
+	}
+}
+
+// putCampaignLocked inserts one document with FIFO eviction past the cap.
+// A duplicate keeps the first entry (identical bytes by construction) and
+// reports false. Caller holds c.mu.
+func (c *resultCache) putCampaignLocked(hash string, doc []byte) bool {
 	if _, dup := c.campaigns[hash]; dup {
-		return // identical bytes by construction; keep the first
+		return false
 	}
 	c.campaigns[hash] = doc
 	c.campaignFIFO = append(c.campaignFIFO, hash)
@@ -60,23 +136,72 @@ func (c *resultCache) storeCampaign(hash string, doc []byte) {
 		delete(c.campaigns, c.campaignFIFO[0])
 		c.campaignFIFO = c.campaignFIFO[1:]
 	}
+	return true
 }
 
 // lookupShard returns the cached report for one shard key, if present.
 func (c *resultCache) lookupShard(key string) (*ShardReport, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	rep, ok := c.shardLocked(key)
+	if !ok {
+		c.shardMisses++
+		return nil, false
+	}
+	c.shardHits++
+	return rep, true
+}
+
+// peekShard is lookupShard without the hit/miss accounting: the restore
+// path uses it to partition a resumed campaign's shards into stored and
+// missing, which is a replay decision, not client-visible cache traffic.
+func (c *resultCache) peekShard(key string) (*ShardReport, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shardLocked(key)
+}
+
+// shardLocked resolves one shard key against memory, then the backing
+// store (read-through: a disk hit is promoted into memory). Caller holds
+// c.mu.
+func (c *resultCache) shardLocked(key string) (*ShardReport, bool) {
 	rep, ok := c.shards[key]
+	if !ok && c.disk != nil {
+		if data, found := c.disk.GetShard(key); found {
+			r := new(ShardReport)
+			if json.Unmarshal(data, r) == nil {
+				c.putShardLocked(key, r)
+				c.diskHits++
+				rep, ok = r, true
+			}
+		}
+	}
 	return rep, ok
 }
 
-// storeShard records one shard's report. Reports are immutable once
-// stored — every reader shares the pointer.
+// storeShard records one shard's report, persisting its encoding to the
+// backing store when one is attached. Reports are immutable once stored —
+// every reader shares the pointer.
 func (c *resultCache) storeShard(key string, rep *ShardReport) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putShardLocked(key, rep)
+	if c.disk != nil {
+		data, err := json.Marshal(rep)
+		if err == nil {
+			err = c.disk.PutShard(key, data)
+		}
+		if err != nil {
+			c.storeErrs++
+		}
+	}
+}
+
+// putShardLocked inserts one report with FIFO eviction past the cap.
+// Caller holds c.mu.
+func (c *resultCache) putShardLocked(key string, rep *ShardReport) bool {
 	if _, dup := c.shards[key]; dup {
-		return
+		return false
 	}
 	c.shards[key] = rep
 	c.shardFIFO = append(c.shardFIFO, key)
@@ -84,11 +209,27 @@ func (c *resultCache) storeShard(key string, rep *ShardReport) {
 		delete(c.shards, c.shardFIFO[0])
 		c.shardFIFO = c.shardFIFO[1:]
 	}
+	return true
 }
 
-// stats returns the campaign-level hit/miss counters and entry counts.
-func (c *resultCache) stats() (hits, misses uint64, campaigns, shards int) {
+// cacheStats is the counter snapshot folded into Server.Stats.
+type cacheStats struct {
+	Hits, Misses           uint64
+	ShardHits, ShardMisses uint64
+	DiskHits               uint64
+	StoreErrs              uint64
+	Campaigns, Shards      int
+}
+
+// stats returns the hit/miss counters and entry counts for both layers.
+func (c *resultCache) stats() cacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, len(c.campaigns), len(c.shards)
+	return cacheStats{
+		Hits: c.hits, Misses: c.misses,
+		ShardHits: c.shardHits, ShardMisses: c.shardMisses,
+		DiskHits:  c.diskHits,
+		StoreErrs: c.storeErrs,
+		Campaigns: len(c.campaigns), Shards: len(c.shards),
+	}
 }

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// cacheKey fabricates a distinct 64-char lowercase-hex key, the shape of
+// the cache's SHA-256 content addresses.
+func cacheKey(i int) string {
+	return fmt.Sprintf("%064x", 0x5dc000+i)
+}
+
+// TestCacheFIFOEviction pins the bounded-cache contract at the cap
+// boundary for both layers: filling one entry past the cap evicts exactly
+// the oldest entry, the survivors still hit, and the FIFO bookkeeping
+// stays consistent (re-inserting the evicted entry evicts the new oldest,
+// not something arbitrary).
+func TestCacheFIFOEviction(t *testing.T) {
+	const cap = 3
+	c := newResultCache(cap, nil)
+
+	// Campaign layer: fill to cap, then one past it.
+	for i := 0; i < cap+1; i++ {
+		c.storeCampaign(cacheKey(i), []byte{byte(i)})
+	}
+	if _, ok := c.lookupCampaign(cacheKey(0)); ok {
+		t.Fatal("oldest campaign entry survived insertion past the cap")
+	}
+	for i := 1; i <= cap; i++ {
+		doc, ok := c.lookupCampaign(cacheKey(i))
+		if !ok || !bytes.Equal(doc, []byte{byte(i)}) {
+			t.Fatalf("entry %d: got %v, %v; want its stored byte", i, doc, ok)
+		}
+	}
+	if st := c.stats(); st.Campaigns != cap {
+		t.Fatalf("campaign layer holds %d entries, want %d", st.Campaigns, cap)
+	}
+
+	// A re-miss after eviction recomputes and re-stores identical bytes;
+	// the FIFO then evicts entry 1 (now the oldest), not a survivor picked
+	// at random — which would betray map/slice bookkeeping drift.
+	c.storeCampaign(cacheKey(0), []byte{0})
+	if _, ok := c.lookupCampaign(cacheKey(0)); !ok {
+		t.Fatal("re-stored entry missing")
+	}
+	if _, ok := c.lookupCampaign(cacheKey(1)); ok {
+		t.Fatal("FIFO bookkeeping drifted: entry 1 should have been evicted as the oldest")
+	}
+	if st := c.stats(); st.Campaigns != cap {
+		t.Fatalf("campaign layer holds %d entries after churn, want %d", st.Campaigns, cap)
+	}
+
+	// Shard layer: same boundary, same bookkeeping.
+	for i := 0; i < cap+1; i++ {
+		c.storeShard(cacheKey(100+i), &ShardReport{Seed: uint64(i)})
+	}
+	if _, ok := c.lookupShard(cacheKey(100)); ok {
+		t.Fatal("oldest shard entry survived insertion past the cap")
+	}
+	for i := 1; i <= cap; i++ {
+		rep, ok := c.lookupShard(cacheKey(100 + i))
+		if !ok || rep.Seed != uint64(i) {
+			t.Fatalf("shard entry %d: got %+v, %v", i, rep, ok)
+		}
+	}
+	if st := c.stats(); st.Shards != cap {
+		t.Fatalf("shard layer holds %d entries, want %d", st.Shards, cap)
+	}
+}
+
+// TestCacheDefensiveCopy is the regression test for the aliasing bug:
+// lookupCampaign used to hand every caller the cache's own []byte, so one
+// caller scribbling on a served document corrupted it for every later
+// hit. The cache must serve a copy.
+func TestCacheDefensiveCopy(t *testing.T) {
+	c := newResultCache(4, nil)
+	orig := []byte(`{"hash":"aa","totals":{}}`)
+	c.storeCampaign(cacheKey(1), append([]byte(nil), orig...))
+
+	first, ok := c.lookupCampaign(cacheKey(1))
+	if !ok {
+		t.Fatal("stored document missing")
+	}
+	for i := range first {
+		first[i] = 'X' // a careless caller mutates what it was served
+	}
+	second, ok := c.lookupCampaign(cacheKey(1))
+	if !ok {
+		t.Fatal("document vanished after a caller mutated its copy")
+	}
+	if !bytes.Equal(second, orig) {
+		t.Fatalf("cache served mutated bytes: %q, want %q", second, orig)
+	}
+}
+
+// TestStatsShardCacheCounters pins shard-level cache visibility end to
+// end: a near-miss campaign (one seed shared, one new) must show exactly
+// one shard hit and the misses that preceded it in GET /v1/stats.
+func TestStatsShardCacheCounters(t *testing.T) {
+	s, ts := newTestServer(t, Options{PoolWorkers: 1})
+
+	first := baseSpec(101, 102)
+	st, code := postSpec(t, ts, first)
+	if code != http.StatusAccepted {
+		t.Fatalf("first POST status %d", code)
+	}
+	if _, code, _ := fetchResult(t, ts, st.ID); code != http.StatusOK {
+		t.Fatalf("first result status %d", code)
+	}
+	stats := s.Stats()
+	if stats.ShardCacheHits != 0 || stats.ShardCacheMisses != 2 {
+		t.Fatalf("after first campaign: shard hits/misses = %d/%d, want 0/2",
+			stats.ShardCacheHits, stats.ShardCacheMisses)
+	}
+
+	// Near miss: seed 101 is stored, seed 103 is new.
+	near := baseSpec(101, 103)
+	st, code = postSpec(t, ts, near)
+	if code != http.StatusAccepted {
+		t.Fatalf("near-miss POST status %d", code)
+	}
+	if _, code, _ := fetchResult(t, ts, st.ID); code != http.StatusOK {
+		t.Fatalf("near-miss result status %d", code)
+	}
+	stats = s.Stats()
+	if stats.ShardCacheHits != 1 || stats.ShardCacheMisses != 3 {
+		t.Fatalf("after near miss: shard hits/misses = %d/%d, want 1/3",
+			stats.ShardCacheHits, stats.ShardCacheMisses)
+	}
+	if stats.ShardsRun != 3 {
+		t.Fatalf("ShardsRun = %d, want 3 (the shared shard must not re-run)", stats.ShardsRun)
+	}
+
+	// The counters reach the wire: /v1/stats carries the new fields.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wire Stats
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.ShardCacheHits != 1 || wire.ShardCacheMisses != 3 {
+		t.Fatalf("/v1/stats shard hits/misses = %d/%d, want 1/3", wire.ShardCacheHits, wire.ShardCacheMisses)
+	}
+}

@@ -49,6 +49,10 @@ type campaign struct {
 	// campaign's in-flight harness runs (DELETE, or server shutdown).
 	ctx    context.Context
 	cancel context.CancelFunc
+	// onTerminal, when set, is invoked exactly once as the campaign enters
+	// its terminal state (under c.mu, from finishLocked). The server uses
+	// it to journal the transition; the hook must not take s.mu.
+	onTerminal func(state State, errMsg string)
 
 	mu         sync.Mutex
 	notify     chan struct{}
@@ -84,6 +88,9 @@ func (c *campaign) finishLocked(state State, errMsg string) {
 	//lint:allow walltime -- operational finish timestamp for the status API; never feeds a result byte
 	c.finished = time.Now()
 	c.appendEventLocked(encodeDoneEvent(state, c.cacheHit, errMsg))
+	if c.onTerminal != nil {
+		c.onTerminal(state, errMsg)
+	}
 	c.cancel()
 }
 

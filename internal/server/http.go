@@ -67,6 +67,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
+	case errors.Is(err, ErrStore):
+		// The journal could not record the submission: the durability
+		// contract cannot be honoured, so the work was not accepted.
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err.Error())
 		return

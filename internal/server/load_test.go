@@ -171,14 +171,27 @@ func TestServerLoadSmoke(t *testing.T) {
 	if stats.ShardsRun != wantShards {
 		t.Errorf("executed %d shards, want exactly %d (cache must absorb every duplicate)", stats.ShardsRun, wantShards)
 	}
+
+	// Shutdown accounting: shards abandoned in the queue at Close release
+	// their reservation, so the depth ends at zero rather than sticking.
+	s.Close()
+	if after := s.Stats(); after.QueueDepth != 0 {
+		t.Errorf("queue depth %d after Close, want 0 (abandoned shards must release their reservation)", after.QueueDepth)
+	}
 }
 
 // TestServerCloseUnblocksWaiters pins shutdown: Close cancels in-flight
-// campaigns, marks them terminal, and rejects later submissions.
+// campaigns, marks them terminal, drains the shards it abandoned in the
+// queue, and rejects later submissions.
 func TestServerCloseUnblocksWaiters(t *testing.T) {
-	s := New(Options{PoolWorkers: 1})
-	// No httptest front end here — exercise the engine API directly.
-	slow := baseSpec(1)
+	s, err := New(Options{PoolWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No httptest front end here — exercise the engine API directly. Four
+	// seeds on one worker guarantee shards are still sitting in the queue
+	// when Close fires, so the drain path is actually exercised.
+	slow := baseSpec(1, 2, 3, 4)
 	slow.TEnd = 20000
 	slow.TolA, slow.TolR = 1e-7, 1e-7
 	slow.MinInjections = 1 << 19
@@ -203,6 +216,9 @@ func TestServerCloseUnblocksWaiters(t *testing.T) {
 	st := c.status()
 	if st.State != StateCancelled {
 		t.Fatalf("campaign state after Close: %+v, want cancelled", st)
+	}
+	if stats := s.Stats(); stats.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after Close, want 0 (abandoned shards must release their reservation)", stats.QueueDepth)
 	}
 	if _, err := s.Submit(baseSpec(2)); err == nil {
 		t.Fatal("Submit after Close succeeded")

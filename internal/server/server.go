@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/server/store"
 	"repro/internal/telemetry"
 )
 
@@ -30,6 +32,21 @@ type Options struct {
 	// CacheCap bounds each layer of the content-addressed result cache
 	// (default 4096 entries).
 	CacheCap int
+	// DataDir, when non-empty, turns on the durability layer: an
+	// append-only journal of submissions and terminal transitions plus an
+	// on-disk content-addressed result store under this directory. On
+	// startup the server replays the journal, warms the result cache from
+	// disk, re-registers every non-terminal campaign under its original
+	// ID, and re-enqueues exactly the shards lacking a stored report.
+	// Empty keeps the server fully in-memory (the pre-durability
+	// behaviour).
+	DataDir string
+	// SyncEvery is the journal fsync policy: sync after every Nth
+	// appended record (default 1 — every submission and terminal
+	// transition is durable before it is acknowledged). Result documents
+	// and shard reports are always synced before their atomic rename,
+	// independent of this setting. Ignored without DataDir.
+	SyncEvery int
 }
 
 func (o *Options) defaults() {
@@ -45,6 +62,9 @@ func (o *Options) defaults() {
 	if o.CacheCap <= 0 {
 		o.CacheCap = 4096
 	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
 }
 
 // Submission errors the HTTP layer maps onto status codes.
@@ -54,11 +74,17 @@ var (
 	ErrQueueFull = errors.New("server: shard queue full")
 	// ErrClosed rejects submissions after Close has begun.
 	ErrClosed = errors.New("server: shut down")
+	// ErrStore rejects a submission the durability journal could not
+	// record (500): accepting work the journal cannot resume would
+	// silently void the crash-safety contract.
+	ErrStore = errors.New("server: durability store failure")
 )
 
 // Server owns the campaign registry, the bounded shard queue, the worker
-// pool, and the result cache. One Server outlives many submissions; Close
-// tears the pool down and cancels everything in flight.
+// pool, the result cache, and (optionally) the durability store. One
+// Server outlives many submissions; Close tears the pool down and cancels
+// everything in flight — without journaling those cancellations, so a
+// restart on the same data directory resumes them.
 type Server struct {
 	opts   Options
 	ctx    context.Context // root of every campaign context
@@ -66,20 +92,37 @@ type Server struct {
 	wg     sync.WaitGroup
 	jobs   chan *shard
 	cache  *resultCache
+	store  *store.Store // nil without Options.DataDir
 
-	mu        sync.Mutex
-	closed    bool
-	campaigns map[string]*campaign
-	order     []string // campaign IDs in submission order (oldest first)
-	nextID    uint64
-	queued    int // shards reserved or sitting in jobs, not yet picked up
-	maxQueued int // high-water mark of queued, for the load tests
-	shardsRun uint64
-	repsRun   uint64 // replicates executed (sum of Rates.Runs over run shards)
+	// suppressJournal gates terminal journaling during Close: shutdown
+	// abandonment is not a campaign outcome, and journaling it would
+	// make the campaign unresumable. Atomic because finishLocked fires
+	// under c.mu, where s.mu must not be taken.
+	suppressJournal atomic.Bool
+	journalErrs     atomic.Uint64 // terminal-record append failures
+
+	mu             sync.Mutex
+	closed         bool
+	campaigns      map[string]*campaign
+	order          []string // campaign IDs in submission order (oldest first)
+	nextID         uint64
+	queued         int // shards reserved or sitting in jobs, not yet picked up
+	maxQueued      int // high-water mark of queued, for the load tests
+	shardsRun      uint64
+	repsRun        uint64 // replicates executed (sum of Rates.Runs over run shards)
+	resumed        int    // campaigns re-registered from the journal at startup
+	warmedCampaign int    // cache entries preloaded from disk at startup
+	warmedShard    int
 }
 
-// New builds a Server and starts its worker pool.
-func New(opts Options) *Server {
+// New builds a Server, opens and replays its durability store when
+// Options.DataDir is set, and starts the worker pool. With a data
+// directory the startup sequence is: open the store (tolerating a torn
+// journal tail), warm the result cache from disk, re-register every
+// journaled campaign without a terminal record, and re-enqueue exactly
+// its shards lacking a stored report — everything else is served from
+// the store, byte-identical and without running a single replicate.
+func New(opts Options) (*Server, error) {
 	opts.defaults()
 	//lint:allow ctxflow -- the server owns its root lifecycle: Shutdown cancels this context, and every campaign derives from it
 	ctx, cancel := context.WithCancel(context.Background())
@@ -87,19 +130,56 @@ func New(opts Options) *Server {
 		opts:      opts,
 		ctx:       ctx,
 		cancel:    cancel,
-		jobs:      make(chan *shard, opts.QueueCap),
-		cache:     newResultCache(opts.CacheCap),
 		campaigns: make(map[string]*campaign),
 	}
+	if opts.DataDir != "" {
+		st, err := store.Open(opts.DataDir, store.Options{SyncEvery: opts.SyncEvery})
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		}
+		s.store = st
+	}
+	s.cache = newResultCache(opts.CacheCap, s.store)
+	s.warmedCampaign, s.warmedShard = s.cache.warm()
+
+	// Resume before the pool starts: restore runs single-threaded, so the
+	// re-enqueued backlog lands in submission order and the queue
+	// accounting below needs no locking.
+	var pending []*shard
+	if s.store != nil {
+		pending = s.restore()
+	}
+	queueCap := opts.QueueCap
+	if len(pending) > queueCap {
+		// The resumed backlog may exceed the configured cap (it was
+		// admitted by a previous process under the same cap, possibly
+		// accumulated across campaigns). Size the channel to hold it —
+		// new submissions are still admitted against QueueCap, so the
+		// steady-state bound returns as the backlog drains.
+		queueCap = len(pending)
+	}
+	s.jobs = make(chan *shard, queueCap)
+	for _, sh := range pending {
+		s.jobs <- sh
+	}
+	s.queued = len(pending)
+	if s.queued > s.maxQueued {
+		s.maxQueued = s.queued
+	}
+
 	for i := 0; i < opts.PoolWorkers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
-// Close stops accepting submissions, cancels every in-flight campaign, and
-// waits for the worker pool to drain. Idempotent.
+// Close stops accepting submissions, cancels every in-flight campaign,
+// waits for the worker pool to drain, and releases the durability store.
+// Idempotent. The campaigns it abandons are deliberately NOT journaled as
+// terminal: from the durability layer's point of view a graceful shutdown
+// and a crash are the same event, and both resume on the next start.
 func (s *Server) Close() {
 	s.mu.Lock()
 	already := s.closed
@@ -108,11 +188,27 @@ func (s *Server) Close() {
 	if already {
 		return
 	}
+	// Suppress before cancelling: the cancellation below funnels in-flight
+	// shards through finishShard → finishLocked, which must not record
+	// shutdown abandonment as a terminal outcome.
+	s.suppressJournal.Store(true)
 	s.cancel()
 	s.wg.Wait()
+	// Shards abandoned in the queue still hold their submission-time
+	// reservation; drain them and release it so the queue accounting
+	// (Stats.QueueDepth) ends at zero rather than sticking forever.
+	s.mu.Lock()
+drain:
+	for {
+		select {
+		case <-s.jobs:
+			s.queued--
+		default:
+			break drain
+		}
+	}
 	// Everything still transient was abandoned by the pool: mark it
 	// cancelled so waiters unblock with a terminal state.
-	s.mu.Lock()
 	open := make([]*campaign, 0, len(s.order))
 	for _, id := range s.order {
 		open = append(open, s.campaigns[id])
@@ -123,13 +219,61 @@ func (s *Server) Close() {
 		c.finishLocked(StateCancelled, "server shut down")
 		c.mu.Unlock()
 	}
+	if s.store != nil {
+		if err := s.store.Close(); err != nil {
+			s.journalErrs.Add(1)
+		}
+	}
+}
+
+// journalTerminal records a campaign's terminal transition, unless
+// shutdown suppression is active. It runs under c.mu (from finishLocked),
+// so it must never take s.mu; failures land on an atomic counter exposed
+// in Stats.
+func (s *Server) journalTerminal(id string, state State, errMsg string) {
+	if s.store == nil || s.suppressJournal.Load() {
+		return
+	}
+	if err := s.store.AppendTerminal(id, string(state), errMsg); err != nil {
+		s.journalErrs.Add(1)
+	}
+}
+
+// attachJournal wires a campaign's terminal transitions into the journal.
+// Must happen before the campaign can reach a terminal state.
+func (s *Server) attachJournal(c *campaign) {
+	if s.store == nil {
+		return
+	}
+	id := c.id
+	c.onTerminal = func(state State, errMsg string) {
+		s.journalTerminal(id, state, errMsg)
+	}
+}
+
+// journalSubmit records an accepted campaign: ID, content hash, and the
+// canonical spec document (hints included — they shape how resumed shards
+// execute, never what they produce).
+func (s *Server) journalSubmit(c *campaign) error {
+	if s.store == nil {
+		return nil
+	}
+	specJSON, err := encodeSpec(c.spec)
+	if err == nil {
+		err = s.store.AppendSubmit(c.id, c.hash, specJSON)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	return nil
 }
 
 // Submit canonicalizes and validates the spec, consults the campaign-level
-// result cache, and — on a miss — registers the campaign and enqueues one
-// shard per seed. The returned campaign is already terminal (StateDone) on
-// a cache hit. Rejects with ErrQueueFull when the shards would overflow
-// the bounded queue and ErrClosed after shutdown has begun.
+// result cache, and — on a miss — journals and registers the campaign and
+// enqueues one shard per seed. The returned campaign is already terminal
+// (StateDone) on a cache hit. Rejects with ErrQueueFull when the shards
+// would overflow the bounded queue, ErrClosed after shutdown has begun,
+// and ErrStore when the durability journal cannot record the submission.
 func (s *Server) Submit(spec Spec) (*campaign, error) {
 	spec.Canonicalize()
 	if err := spec.Validate(); err != nil {
@@ -153,11 +297,16 @@ func (s *Server) Submit(spec Spec) (*campaign, error) {
 	c.ctx, c.cancel = context.WithCancel(s.ctx)
 	//lint:allow walltime -- operational submission timestamp for the status API; never feeds a result byte
 	c.submitted = time.Now()
+	s.attachJournal(c)
 
 	// Traced submissions always execute: the caller asked for the event
 	// stream, which a cached document cannot replay.
 	if !spec.Trace {
 		if doc, ok := s.cache.lookupCampaign(hash); ok {
+			if err := s.journalSubmit(c); err != nil {
+				s.mu.Unlock()
+				return nil, err
+			}
 			c.cacheHit = true
 			c.result = doc
 			c.mu.Lock()
@@ -175,6 +324,12 @@ func (s *Server) Submit(spec Spec) (*campaign, error) {
 		return nil, fmt.Errorf("%w: %d shards pending, %d submitted, cap %d",
 			ErrQueueFull, pending, len(spec.Seeds), s.opts.QueueCap)
 	}
+	// Journal before reserving queue capacity: a submission the journal
+	// cannot record is rejected with nothing to unwind.
+	if err := s.journalSubmit(c); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
 	s.queued += len(spec.Seeds)
 	if s.queued > s.maxQueued {
 		s.maxQueued = s.queued
@@ -189,7 +344,7 @@ func (s *Server) Submit(spec Spec) (*campaign, error) {
 	s.mu.Unlock()
 
 	// The reservation above guarantees capacity: at most `queued` shards
-	// are ever in the channel, and queued <= QueueCap == cap(jobs).
+	// are ever in the channel, and queued <= QueueCap <= cap(jobs).
 	for _, sh := range c.shards {
 		s.jobs <- sh
 	}
@@ -305,7 +460,10 @@ func (s *Server) runShard(sh *shard) {
 // finishShard lands one shard's outcome on its campaign: failure or
 // cancellation finishes the whole campaign, success records the report and
 // — when it was the last shard — assembles, caches, and publishes the
-// merged result document.
+// merged result document. The persistence order is deliberate: the shard
+// report and the merged document reach the store (via the write-through
+// cache) before the terminal journal record lands, so a crash between the
+// two replays as "all shards stored" and completes instantly on restart.
 func (s *Server) finishShard(sh *shard, rep *ShardReport, err error, cached bool, trace *telemetry.Recorder) {
 	c := sh.c
 	c.mu.Lock()
@@ -348,37 +506,53 @@ func (s *Server) finishShard(sh *shard, rep *ShardReport, err error, cached bool
 // Stats is the operational counter snapshot served by GET /v1/stats. The
 // queue fields let the load tests assert the reservation bound held; the
 // cache and replicate counters let the determinism tests prove a repeat
-// submission ran zero new replicates.
+// submission ran zero new replicates; the durability fields let the
+// crash-recovery tests prove a resumed campaign re-ran only the shards
+// without a stored report.
 type Stats struct {
-	QueueDepth    int    `json:"queue_depth"`
-	MaxQueueDepth int    `json:"max_queue_depth"`
-	QueueCap      int    `json:"queue_cap"`
-	PoolWorkers   int    `json:"pool_workers"`
-	Campaigns     int    `json:"campaigns"`
-	Queued        int    `json:"campaigns_queued"`
-	Running       int    `json:"campaigns_running"`
-	Done          int    `json:"campaigns_done"`
-	Failed        int    `json:"campaigns_failed"`
-	Cancelled     int    `json:"campaigns_cancelled"`
-	ShardsRun     uint64 `json:"shards_run"`
-	ReplicatesRun uint64 `json:"replicates_run"`
-	CacheHits     uint64 `json:"cache_hits"`
-	CacheMisses   uint64 `json:"cache_misses"`
-	CacheEntries  int    `json:"cache_entries"`
-	ShardEntries  int    `json:"shard_entries"`
+	QueueDepth       int    `json:"queue_depth"`
+	MaxQueueDepth    int    `json:"max_queue_depth"`
+	QueueCap         int    `json:"queue_cap"`
+	PoolWorkers      int    `json:"pool_workers"`
+	Campaigns        int    `json:"campaigns"`
+	Queued           int    `json:"campaigns_queued"`
+	Running          int    `json:"campaigns_running"`
+	Done             int    `json:"campaigns_done"`
+	Failed           int    `json:"campaigns_failed"`
+	Cancelled        int    `json:"campaigns_cancelled"`
+	ShardsRun        uint64 `json:"shards_run"`
+	ReplicatesRun    uint64 `json:"replicates_run"`
+	CacheHits        uint64 `json:"cache_hits"`
+	CacheMisses      uint64 `json:"cache_misses"`
+	ShardCacheHits   uint64 `json:"shard_cache_hits"`
+	ShardCacheMisses uint64 `json:"shard_cache_misses"`
+	CacheEntries     int    `json:"cache_entries"`
+	ShardEntries     int    `json:"shard_entries"`
+
+	// Durability counters; all zero without Options.DataDir.
+	Durable         bool   `json:"durable"`
+	DiskHits        uint64 `json:"disk_hits"`
+	StoreErrors     uint64 `json:"store_errors"`
+	JournalRecords  uint64 `json:"journal_records"`
+	Resumed         int    `json:"campaigns_resumed"`
+	WarmedCampaigns int    `json:"warmed_campaigns"`
+	WarmedShards    int    `json:"warmed_shards"`
 }
 
 // Stats snapshots the server's counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	st := Stats{
-		QueueDepth:    s.queued,
-		MaxQueueDepth: s.maxQueued,
-		QueueCap:      s.opts.QueueCap,
-		PoolWorkers:   s.opts.PoolWorkers,
-		Campaigns:     len(s.order),
-		ShardsRun:     s.shardsRun,
-		ReplicatesRun: s.repsRun,
+		QueueDepth:      s.queued,
+		MaxQueueDepth:   s.maxQueued,
+		QueueCap:        s.opts.QueueCap,
+		PoolWorkers:     s.opts.PoolWorkers,
+		Campaigns:       len(s.order),
+		ShardsRun:       s.shardsRun,
+		ReplicatesRun:   s.repsRun,
+		Resumed:         s.resumed,
+		WarmedCampaigns: s.warmedCampaign,
+		WarmedShards:    s.warmedShard,
 	}
 	cs := make([]*campaign, 0, len(s.order))
 	for _, id := range s.order {
@@ -402,6 +576,15 @@ func (s *Server) Stats() Stats {
 			st.Cancelled++
 		}
 	}
-	st.CacheHits, st.CacheMisses, st.CacheEntries, st.ShardEntries = s.cache.stats()
+	cst := s.cache.stats()
+	st.CacheHits, st.CacheMisses = cst.Hits, cst.Misses
+	st.ShardCacheHits, st.ShardCacheMisses = cst.ShardHits, cst.ShardMisses
+	st.CacheEntries, st.ShardEntries = cst.Campaigns, cst.Shards
+	st.DiskHits = cst.DiskHits
+	st.StoreErrors = cst.StoreErrs + s.journalErrs.Load()
+	if s.store != nil {
+		st.Durable = true
+		st.JournalRecords = s.store.JournalRecords()
+	}
 	return st
 }

@@ -1,0 +1,176 @@
+package store
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// The journal's record vocabulary. A "submit" record lands when the
+// server accepts a campaign; a "terminal" record lands when the campaign
+// reaches done/failed/cancelled. A submission with no matching terminal
+// record is, by definition, the set a restarted server must resume.
+const (
+	RecordSubmit   = "submit"
+	RecordTerminal = "terminal"
+)
+
+// Record is one journal entry. Submit records carry the campaign's ID,
+// content hash, and the canonical spec document (verbatim JSON, so the
+// journal does not depend on the server's Go types); terminal records
+// carry the final state and error message.
+type Record struct {
+	Type  string          `json:"type"`            // RecordSubmit or RecordTerminal
+	ID    string          `json:"id"`              // campaign ID ("c%08d")
+	Hash  string          `json:"hash,omitempty"`  // submit: campaign content hash
+	Spec  json.RawMessage `json:"spec,omitempty"`  // submit: canonical spec JSON
+	State string          `json:"state,omitempty"` // terminal: done/failed/cancelled
+	Error string          `json:"error,omitempty"` // terminal: failure message
+}
+
+// envelope is the on-disk framing of one journal line: the record's
+// compact JSON encoding plus a CRC-32C over exactly those bytes.
+// json.RawMessage preserves the byte sequence through a decode, so the
+// checksum verifies what was written, not a re-encoding.
+type envelope struct {
+	CRC string          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func checksum(p []byte) string {
+	var b [4]byte
+	c := crc32.Checksum(p, crcTable)
+	b[0], b[1], b[2], b[3] = byte(c>>24), byte(c>>16), byte(c>>8), byte(c)
+	return hex.EncodeToString(b[:])
+}
+
+// journal is the append-only record log. Appends are framed, checksummed
+// JSONL; replay verifies every line and tolerates exactly one torn tail —
+// a final line that is incomplete or fails its checksum is the signature
+// of a crash mid-append, so it is dropped and truncated away. A bad line
+// *followed by valid data* is real corruption and refuses to open: every
+// record before it was acknowledged, and silently skipping acknowledged
+// records would break the durability contract.
+type journal struct {
+	f         *os.File
+	syncEvery int
+	unsynced  int    // records appended since the last fsync
+	records   uint64 // replayed + appended this session
+}
+
+// openJournal replays path (creating it if absent), truncates a torn
+// final line, and returns the journal opened for appending plus the
+// replayed records in append order.
+func openJournal(path string, syncEvery int) (*journal, []Record, error) {
+	if syncEvery < 1 {
+		syncEvery = 1
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("store: reading journal: %w", err)
+	}
+	recs, validLen, err := decodeJournal(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if validLen < len(data) {
+		// Torn tail: drop the partial record so later appends start on a
+		// clean line boundary instead of gluing onto garbage.
+		if err := os.Truncate(path, int64(validLen)); err != nil {
+			return nil, nil, fmt.Errorf("store: truncating torn journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: opening journal: %w", err)
+	}
+	return &journal{f: f, syncEvery: syncEvery, records: uint64(len(recs))}, recs, nil
+}
+
+// decodeJournal parses the journal bytes, returning the valid records and
+// the byte length of the valid prefix. A final line that is incomplete
+// (no newline) or undecodable is torn — excluded from the valid prefix —
+// while an undecodable line with more data after it is an error.
+func decodeJournal(data []byte) ([]Record, int, error) {
+	var recs []Record
+	off := 0
+	line := 0
+	for off < len(data) {
+		line++
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			return recs, off, nil // torn: partial final line
+		}
+		rec, err := decodeLine(data[off : off+nl])
+		if err != nil {
+			if off+nl+1 >= len(data) {
+				return recs, off, nil // torn: invalid final line
+			}
+			return nil, 0, fmt.Errorf("store: journal record %d: %w (corruption before the final record; refusing to open)", line, err)
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+	}
+	return recs, off, nil
+}
+
+func decodeLine(p []byte) (Record, error) {
+	var env envelope
+	if err := json.Unmarshal(p, &env); err != nil {
+		return Record{}, fmt.Errorf("decoding envelope: %w", err)
+	}
+	if got := checksum(env.Rec); got != env.CRC {
+		return Record{}, fmt.Errorf("checksum mismatch: record says %s, payload sums to %s", env.CRC, got)
+	}
+	var rec Record
+	if err := json.Unmarshal(env.Rec, &rec); err != nil {
+		return Record{}, fmt.Errorf("decoding record: %w", err)
+	}
+	if rec.Type != RecordSubmit && rec.Type != RecordTerminal {
+		return Record{}, fmt.Errorf("unknown record type %q", rec.Type)
+	}
+	return rec, nil
+}
+
+// append writes one record and applies the fsync policy: the file is
+// synced after every syncEvery-th unsynced record, so syncEvery=1 makes
+// every append durable before it returns and larger values trade a
+// bounded window of recent records for submission latency.
+func (j *journal) append(rec Record) error {
+	p, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding journal record: %w", err)
+	}
+	line, err := json.Marshal(envelope{CRC: checksum(p), Rec: p})
+	if err != nil {
+		return fmt.Errorf("store: framing journal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("store: appending journal record: %w", err)
+	}
+	j.records++
+	j.unsynced++
+	if j.unsynced >= j.syncEvery {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing journal: %w", err)
+		}
+		j.unsynced = 0
+	}
+	return nil
+}
+
+// close syncs any unsynced tail and releases the file.
+func (j *journal) close() error {
+	syncErr := j.f.Sync()
+	closeErr := j.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -1,0 +1,206 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openTemp(t *testing.T, opts Options) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dir
+}
+
+func reopen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	s, dir := openTemp(t, Options{})
+	if got := s.Replay(); len(got) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(got))
+	}
+	if err := s.AppendSubmit("c00000001", "aa11", []byte(`{"problem":"oscillator","seeds":[1]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendTerminal("c00000001", "done", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubmit("c00000002", "bb22", []byte(`{"problem":"oscillator","seeds":[2]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.JournalRecords(); got != 3 {
+		t.Fatalf("JournalRecords = %d, want 3", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := reopen(t, dir)
+	defer s2.Close()
+	recs := s2.Replay()
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(recs))
+	}
+	if recs[0].Type != RecordSubmit || recs[0].ID != "c00000001" || recs[0].Hash != "aa11" {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if string(recs[0].Spec) != `{"problem":"oscillator","seeds":[1]}` {
+		t.Fatalf("spec bytes did not round-trip verbatim: %s", recs[0].Spec)
+	}
+	if recs[1].Type != RecordTerminal || recs[1].State != "done" {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+	if recs[2].ID != "c00000002" {
+		t.Fatalf("record 2 = %+v", recs[2])
+	}
+	if got := s2.JournalRecords(); got != 3 {
+		t.Fatalf("JournalRecords after replay = %d, want 3", got)
+	}
+}
+
+// TestJournalTornTailTolerated pins the crash-mid-append contract: a
+// partial (or checksum-failing) final line is dropped and truncated away,
+// every record before it replays, and subsequent appends land cleanly.
+func TestJournalTornTailTolerated(t *testing.T) {
+	cases := []struct {
+		name string
+		tear func(data []byte) []byte
+	}{
+		{"partial line", func(data []byte) []byte {
+			return data[:len(data)-7] // mid-record, no trailing newline
+		}},
+		{"newline-terminated garbage", func(data []byte) []byte {
+			return append(data, []byte("{\"crc\":\"zz\",garbage\n")...)
+		}},
+		{"checksum mismatch on final line", func(data []byte) []byte {
+			// Flip one payload byte inside the last line; the CRC no
+			// longer matches, so the record must be treated as torn.
+			i := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
+			line := append([]byte(nil), data[i:]...)
+			line = bytes.Replace(line, []byte(`"terminal"`), []byte(`"terminax"`), 1)
+			return append(data[:i], line...)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, dir := openTemp(t, Options{})
+			if err := s.AppendSubmit("c00000001", "aa11", []byte(`{}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendTerminal("c00000001", "done", ""); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, journalName)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.tear(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := reopen(t, dir)
+			recs := s2.Replay()
+			wantRecs := 1
+			if tc.name == "partial line" || tc.name == "checksum mismatch on final line" {
+				wantRecs = 1 // the terminal record was torn
+			}
+			if tc.name == "newline-terminated garbage" {
+				wantRecs = 2 // both real records survive; only the garbage drops
+			}
+			if len(recs) != wantRecs {
+				t.Fatalf("replayed %d records, want %d (%+v)", len(recs), wantRecs, recs)
+			}
+			// The torn tail was truncated: a fresh append then a reopen
+			// must replay cleanly with the new record appended.
+			if err := s2.AppendTerminal("c00000001", "cancelled", "resumed then cancelled"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s3 := reopen(t, dir)
+			defer s3.Close()
+			recs = s3.Replay()
+			if len(recs) != wantRecs+1 {
+				t.Fatalf("after re-append: replayed %d records, want %d", len(recs), wantRecs+1)
+			}
+			last := recs[len(recs)-1]
+			if last.Type != RecordTerminal || last.State != "cancelled" {
+				t.Fatalf("last record = %+v", last)
+			}
+		})
+	}
+}
+
+// TestJournalMidCorruptionRefusesOpen pins the other half of the torn-
+// line contract: an invalid record with valid data after it is not a torn
+// tail but real corruption, and the store refuses to open rather than
+// silently dropping acknowledged records.
+func TestJournalMidCorruptionRefusesOpen(t *testing.T) {
+	s, dir := openTemp(t, Options{})
+	for i, id := range []string{"c00000001", "c00000002", "c00000003"} {
+		_ = i
+		if err := s.AppendSubmit(id, "aa11", []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the second of three lines.
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	lines[1] = bytes.Replace(lines[1], []byte(`c00000002`), []byte(`c0000000X`), 1)
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, Options{})
+	if err == nil {
+		t.Fatal("corrupted mid-journal opened without error")
+	}
+	if !strings.Contains(err.Error(), "refusing to open") {
+		t.Fatalf("error %q does not explain the refusal", err)
+	}
+}
+
+// TestJournalSyncEvery exercises the batched fsync policy end to end:
+// with SyncEvery=4 every record still lands in the file (fsync batching
+// must never drop writes, only defer durability) and Close syncs the
+// tail.
+func TestJournalSyncEvery(t *testing.T) {
+	s, dir := openTemp(t, Options{SyncEvery: 4})
+	for i := 0; i < 10; i++ {
+		if err := s.AppendTerminal("c00000001", "done", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := reopen(t, dir)
+	defer s2.Close()
+	if got := len(s2.Replay()); got != 10 {
+		t.Fatalf("replayed %d records, want 10", got)
+	}
+}

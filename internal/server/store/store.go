@@ -1,0 +1,305 @@
+// Package store is the campaign server's durability layer: an
+// append-only, checksummed JSONL journal of submissions and terminal
+// transitions, plus an on-disk content-addressed result store (campaign
+// hash → verbatim result document, shard key → encoded shard report).
+//
+// The layer leans entirely on the server's exactness argument: because a
+// spec's content hash and per-seed shard keys cover every byte that can
+// influence a result, resumption after a crash is safe by construction —
+// a restarted server re-runs only the shards without a stored report and
+// re-serves everything else byte-identically. The store therefore never
+// needs versioning, invalidation, or reconciliation: a blob is either
+// present (and exact) or absent (and recomputable).
+//
+// Crash safety: journal records are individually checksummed (CRC-32C
+// over the record bytes) so a torn final line — the signature of a crash
+// mid-append — is detected, dropped, and truncated away on open, while
+// corruption anywhere earlier refuses to open rather than silently
+// dropping acknowledged records. Blobs are written to a temporary file,
+// synced, and atomically renamed into place, so a reader never observes
+// a partial document; stale temporaries from a crash are swept on open.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Options configures a Store.
+type Options struct {
+	// SyncEvery fsyncs the journal after every Nth appended record.
+	// 1 (the default for values < 1) makes every submission and terminal
+	// transition durable before the append returns; larger values trade
+	// a bounded window of recent journal records for append latency.
+	// Blob writes (result documents, shard reports) are always synced
+	// before their atomic rename regardless of this setting — losing a
+	// shard report silently would void the resume-exactness argument.
+	SyncEvery int
+}
+
+// Store owns one durability directory:
+//
+//	<dir>/journal.jsonl      the submission/terminal journal
+//	<dir>/campaigns/xx/<hash>.json   result documents by campaign hash
+//	<dir>/shards/xx/<key>.json       encoded shard reports by shard key
+//
+// Blob keys are the server's SHA-256 hex content addresses, fanned out
+// by their first two characters. All methods are safe for concurrent
+// use.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex // serializes journal appends and blob writes
+	journal  *journal
+	replayed []Record
+}
+
+const (
+	journalName  = "journal.jsonl"
+	campaignsDir = "campaigns"
+	shardsDir    = "shards"
+)
+
+// Open creates (or reopens) the durability directory, sweeps stale
+// temporary blobs, and replays the journal. The replayed records are
+// available from Replay until Close.
+func Open(dir string, opts Options) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, campaignsDir), filepath.Join(dir, shardsDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating %s: %w", d, err)
+		}
+	}
+	if err := sweepTemporaries(dir); err != nil {
+		return nil, err
+	}
+	j, recs, err := openJournal(filepath.Join(dir, journalName), opts.SyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, journal: j, replayed: recs}, nil
+}
+
+// sweepTemporaries removes blob temp files abandoned by a crash between
+// write and rename: their content is unverifiable, and the shard they
+// belonged to simply re-runs.
+func sweepTemporaries(dir string) error {
+	for _, kind := range []string{campaignsDir, shardsDir} {
+		err := filepath.WalkDir(filepath.Join(dir, kind), func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".tmp") {
+				return os.Remove(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("store: sweeping temporaries: %w", err)
+		}
+	}
+	return nil
+}
+
+// Replay returns the journal records that were on disk when the store
+// was opened, in append order.
+func (s *Store) Replay() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.replayed))
+	copy(out, s.replayed)
+	return out
+}
+
+// AppendSubmit journals an accepted campaign: its ID, content hash, and
+// canonical spec document.
+func (s *Store) AppendSubmit(id, hash string, spec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal.append(Record{Type: RecordSubmit, ID: id, Hash: hash, Spec: json.RawMessage(spec)})
+}
+
+// AppendTerminal journals a campaign's terminal transition. A campaign
+// with a terminal record is never resumed.
+func (s *Store) AppendTerminal(id, state, errMsg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal.append(Record{Type: RecordTerminal, ID: id, State: state, Error: errMsg})
+}
+
+// JournalRecords reports the total records in the journal: replayed at
+// open plus appended since.
+func (s *Store) JournalRecords() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal.records
+}
+
+// Close syncs and releases the journal.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal.close()
+}
+
+// PutCampaign stores a finished campaign's result document under its
+// content hash. Content addressing makes the write idempotent: an
+// existing blob is identical by construction and kept.
+func (s *Store) PutCampaign(hash string, doc []byte) error {
+	return s.putBlob(campaignsDir, hash, doc)
+}
+
+// GetCampaign returns the stored result document for hash, if present.
+func (s *Store) GetCampaign(hash string) ([]byte, bool) {
+	return s.getBlob(campaignsDir, hash)
+}
+
+// PutShard stores one shard's encoded report under its shard key.
+func (s *Store) PutShard(key string, rep []byte) error {
+	return s.putBlob(shardsDir, key, rep)
+}
+
+// GetShard returns the stored encoded report for one shard key.
+func (s *Store) GetShard(key string) ([]byte, bool) {
+	return s.getBlob(shardsDir, key)
+}
+
+// ErrStopWalk stops a Walk early; the Walk itself returns nil.
+var ErrStopWalk = fmt.Errorf("store: stop walk")
+
+// WalkCampaigns visits every stored result document in sorted key order
+// (deterministic, so a cache warmed from disk fills identically across
+// restarts). fn returning ErrStopWalk ends the walk without error.
+func (s *Store) WalkCampaigns(fn func(hash string, doc []byte) error) error {
+	return s.walkBlobs(campaignsDir, fn)
+}
+
+// WalkShards visits every stored shard report in sorted key order.
+func (s *Store) WalkShards(fn func(key string, rep []byte) error) error {
+	return s.walkBlobs(shardsDir, fn)
+}
+
+// validKey accepts exactly the server's content addresses: lowercase hex,
+// long enough to fan out. Anything else would be a path-traversal hazard.
+func validKey(key string) bool {
+	if len(key) < 3 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) blobPath(kind, key string) string {
+	return filepath.Join(s.dir, kind, key[:2], key+".json")
+}
+
+// putBlob writes data atomically: temp file in the final directory,
+// sync, rename. A crash leaves either the complete blob or a swept-on-
+// open temporary — never a partial document under the real name.
+func (s *Store) putBlob(kind, key string, data []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid blob key %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.blobPath(kind, key)
+	if _, err := os.Stat(path); err == nil {
+		return nil // content-addressed: the existing blob is identical
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: creating blob directory: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating blob: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing blob: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: syncing blob: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: closing blob: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publishing blob: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) getBlob(kind, key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.blobPath(kind, key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// walkBlobs visits every blob of one kind in sorted key order.
+func (s *Store) walkBlobs(kind string, fn func(key string, data []byte) error) error {
+	root := filepath.Join(s.dir, kind)
+	fanouts, err := sortedNames(root, true)
+	if err != nil {
+		return err
+	}
+	for _, fan := range fanouts {
+		files, err := sortedNames(filepath.Join(root, fan), false)
+		if err != nil {
+			return err
+		}
+		for _, name := range files {
+			key := strings.TrimSuffix(name, ".json")
+			if !strings.HasSuffix(name, ".json") || !validKey(key) {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(root, fan, name))
+			if err != nil {
+				return fmt.Errorf("store: reading blob %s: %w", name, err)
+			}
+			if err := fn(key, data); err != nil {
+				if err == ErrStopWalk {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedNames(dir string, dirs bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: listing %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() == dirs {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

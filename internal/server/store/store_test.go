@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// hexKey fabricates a distinct 64-char lowercase-hex key, the shape of
+// the server's SHA-256 content addresses.
+func hexKey(i int) string {
+	return fmt.Sprintf("%064x", 0xabc000+i)
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	s, dir := openTemp(t, Options{})
+	defer s.Close()
+
+	doc := []byte(`{"hash":"x","totals":{}}` + "\n")
+	if err := s.PutCampaign(hexKey(1), doc); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetCampaign(hexKey(1))
+	if !ok || !bytes.Equal(got, doc) {
+		t.Fatalf("GetCampaign = %q, %v; want the stored bytes", got, ok)
+	}
+	if _, ok := s.GetCampaign(hexKey(2)); ok {
+		t.Fatal("GetCampaign hit for a never-stored hash")
+	}
+
+	rep := []byte(`{"seed":7}`)
+	if err := s.PutShard(hexKey(3), rep); err != nil {
+		t.Fatal(err)
+	}
+	got, ok = s.GetShard(hexKey(3))
+	if !ok || !bytes.Equal(got, rep) {
+		t.Fatalf("GetShard = %q, %v", got, ok)
+	}
+
+	// Idempotent by content address: a second Put keeps the first blob.
+	if err := s.PutCampaign(hexKey(1), doc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Blobs survive reopen.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := reopen(t, dir)
+	defer s2.Close()
+	got, ok = s2.GetCampaign(hexKey(1))
+	if !ok || !bytes.Equal(got, doc) {
+		t.Fatalf("after reopen: GetCampaign = %q, %v", got, ok)
+	}
+}
+
+func TestBlobKeyValidation(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	defer s.Close()
+	for _, key := range []string{"", "ab", "../../../../etc/passwd", "AB" + hexKey(0)[2:], "zz" + hexKey(0)[2:]} {
+		if err := s.PutCampaign(key, []byte("x")); err == nil {
+			t.Errorf("PutCampaign accepted invalid key %q", key)
+		}
+		if _, ok := s.GetCampaign(key); ok {
+			t.Errorf("GetCampaign hit for invalid key %q", key)
+		}
+	}
+}
+
+// TestWalkSortedAndStoppable pins the deterministic warm order (sorted
+// by key, independent of insertion order) and the ErrStopWalk early-out
+// the bounded cache warm relies on.
+func TestWalkSortedAndStoppable(t *testing.T) {
+	s, _ := openTemp(t, Options{})
+	defer s.Close()
+	// Insert out of order; the walk must come back sorted.
+	for _, i := range []int{5, 1, 3, 2, 4} {
+		if err := s.PutShard(hexKey(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []string
+	if err := s.WalkShards(func(key string, rep []byte) error {
+		keys = append(keys, key)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 5 {
+		t.Fatalf("walked %d shards, want 5", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("walk order not sorted: %v", keys)
+		}
+	}
+	n := 0
+	if err := s.WalkShards(func(key string, rep []byte) error {
+		n++
+		if n == 2 {
+			return ErrStopWalk
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("ErrStopWalk leaked out of the walk: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("walk visited %d blobs after stop, want 2", n)
+	}
+}
+
+// TestStaleTemporariesSwept simulates a crash between blob write and
+// rename: the leftover .tmp must be removed on open and never served.
+func TestStaleTemporariesSwept(t *testing.T) {
+	s, dir := openTemp(t, Options{})
+	if err := s.PutCampaign(hexKey(1), []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fan := filepath.Join(dir, campaignsDir, hexKey(2)[:2])
+	if err := os.MkdirAll(fan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(fan, hexKey(2)+".json.tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := reopen(t, dir)
+	defer s2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale temporary not swept: stat err %v", err)
+	}
+	if _, ok := s2.GetCampaign(hexKey(2)); ok {
+		t.Fatal("partial blob served")
+	}
+	if got, ok := s2.GetCampaign(hexKey(1)); !ok || string(got) != "real" {
+		t.Fatalf("real blob lost in the sweep: %q, %v", got, ok)
+	}
+}

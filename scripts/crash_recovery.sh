@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke for the durable campaign server (DESIGN.md §10,
+# "Durability"): start sdcd with a data directory, submit a multi-shard
+# campaign, SIGKILL the process mid-run, restart it on the same directory,
+# and assert that
+#
+#   1. the campaign resumes under its original ID and completes,
+#   2. the restarted process re-runs exactly the shards that lacked a
+#      stored report at the moment of the kill (via /v1/stats shards_run),
+#   3. the resumed result document is byte-identical to the same spec run
+#      uninterrupted against a fresh data directory.
+#
+# Needs: go, curl. Run from the repository root.
+set -euo pipefail
+
+ADDR="${ADDR:-localhost:8377}"
+WORK="$(mktemp -d)"
+DATA="$WORK/data"
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$WORK/sdcd" ./cmd/sdcd
+
+# Six shards, each pinned to its full max_runs trial budget so the kill
+# lands mid-campaign on the single-worker pool.
+SPEC='{"problem":"oscillator","seeds":[21,22,23,24,25,26],"min_injections":524288,"max_runs":20000,"t_end":3,"tol_a":1e-4,"tol_r":1e-4}'
+SHARDS=6
+
+start_server() {
+    "$WORK/sdcd" -addr "$ADDR" -workers 1 -data-dir "$1" &
+    PID=$!
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://$ADDR/v1/stats" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: server did not come up on $ADDR" >&2
+    exit 1
+}
+
+# field NAME: extract a bare integer field from the server's indented
+# JSON (one "key": value pair per line).
+field() {
+    sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p" | head -n 1
+}
+
+echo "== first run: submit, then SIGKILL mid-campaign"
+start_server "$DATA"
+ID=$(curl -fsS -X POST -d "$SPEC" "http://$ADDR/v1/campaigns" \
+    | sed -n 's/.*"id": "\(c[0-9]*\)".*/\1/p')
+[ -n "$ID" ] || { echo "FAIL: no campaign ID in the submit response" >&2; exit 1; }
+echo "   campaign $ID"
+
+DONE=0
+for _ in $(seq 1 600); do
+    DONE=$(curl -fsS "http://$ADDR/v1/campaigns/$ID" | field shards_done)
+    DONE="${DONE:-0}"
+    if [ "$DONE" -ge 1 ]; then
+        break
+    fi
+    sleep 0.05
+done
+if [ "$DONE" -lt 1 ] || [ "$DONE" -ge "$SHARDS" ]; then
+    echo "FAIL: wanted the kill to land mid-campaign, but shards_done=$DONE of $SHARDS" >&2
+    exit 1
+fi
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+STORED=$(find "$DATA/shards" -name '*.json' | wc -l | tr -d ' ')
+echo "   killed with $STORED of $SHARDS shard reports stored"
+if [ "$STORED" -lt 1 ] || [ "$STORED" -ge "$SHARDS" ]; then
+    echo "FAIL: kill did not land mid-campaign ($STORED reports stored)" >&2
+    exit 1
+fi
+
+echo "== restart on the same data dir: resume and complete"
+start_server "$DATA"
+curl -fsS "http://$ADDR/v1/campaigns/$ID/result?wait=true" -o "$WORK/resumed.json"
+RUN=$(curl -fsS "http://$ADDR/v1/stats" | field shards_run)
+WANT=$((SHARDS - STORED))
+if [ "${RUN:-'-1'}" -ne "$WANT" ]; then
+    echo "FAIL: resumed server ran $RUN shards, want exactly $WANT (the ones without a stored report)" >&2
+    exit 1
+fi
+echo "   resumed: re-ran $RUN of $SHARDS shards"
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+PID=""
+
+echo "== reference run: same spec, fresh data dir, uninterrupted"
+start_server "$WORK/data-fresh"
+FRESH_ID=$(curl -fsS -X POST -d "$SPEC" "http://$ADDR/v1/campaigns" \
+    | sed -n 's/.*"id": "\(c[0-9]*\)".*/\1/p')
+curl -fsS "http://$ADDR/v1/campaigns/$FRESH_ID/result?wait=true" -o "$WORK/fresh.json"
+
+if ! cmp -s "$WORK/resumed.json" "$WORK/fresh.json"; then
+    echo "FAIL: resumed result differs from the uninterrupted run" >&2
+    diff "$WORK/resumed.json" "$WORK/fresh.json" | head -40 >&2 || true
+    exit 1
+fi
+echo "PASS: resumed campaign served bytes identical to the uninterrupted run, re-running only the $WANT missing shards"
