@@ -55,6 +55,14 @@ type Entry struct {
 	NsPerStep     float64 `json:"ns_per_step"`
 	AllocsPerStep int64   `json:"allocs_per_step"`
 	BytesPerStep  int64   `json:"bytes_per_step"`
+
+	// Batched cells only: the serial engine's ns/step for the same
+	// (method, detector, q) cell measured in the same run, and the derived
+	// per-replicate speedup serial/batched. Same-machine quantities — like
+	// NsPerStep they are informational between machines and gated only on
+	// the same runner.
+	SerialNsPerStep float64 `json:"serial_ns_per_step,omitempty"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 }
 
 // key omits the B segment for serial cells so BENCH_0.json keys are stable
@@ -197,28 +205,38 @@ var matrixMethods = []struct {
 func runMatrix() Report {
 	rep := Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 	for _, m := range matrixMethods {
-		rep.Entries = append(rep.Entries, measure(m.name, m.tab, "classic", 0))
-		for _, det := range []string{"lip", "bdf"} {
-			for q := 1; q <= 3; q++ {
-				rep.Entries = append(rep.Entries, measure(m.name, m.tab, det, q))
-			}
+		for _, c := range matrixCells {
+			rep.Entries = append(rep.Entries, measure(m.name, m.tab, c.det, c.q))
 		}
 	}
 	return rep
 }
 
+// matrixCells enumerates the 7 detector columns of the matrix.
+var matrixCells = []struct {
+	det string
+	q   int
+}{
+	{"classic", 0},
+	{"lip", 1}, {"lip", 2}, {"lip", 3},
+	{"bdf", 1}, {"bdf", 2}, {"bdf", 3},
+}
+
 // runBatchedMatrix measures the same 21 cells through the lockstep engine at
 // B ∈ {1, 4, 8}. The B=1 column prices the lockstep machinery against the
 // serial engine; B=8 shows the amortization the batched campaign mode buys.
+// Each cell's serial counterpart is measured in the same run, so every
+// batched entry carries its serial/batched per-replicate speedup.
 func runBatchedMatrix() Report {
 	rep := Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
-	for _, width := range []int{1, 4, 8} {
-		for _, m := range matrixMethods {
-			rep.Entries = append(rep.Entries, measureBatched(m.name, m.tab, "classic", 0, width))
-			for _, det := range []string{"lip", "bdf"} {
-				for q := 1; q <= 3; q++ {
-					rep.Entries = append(rep.Entries, measureBatched(m.name, m.tab, det, q, width))
-				}
+	for _, m := range matrixMethods {
+		for _, c := range matrixCells {
+			serial := measure(m.name, m.tab, c.det, c.q)
+			for _, width := range []int{1, 4, 8} {
+				e := measureBatched(m.name, m.tab, c.det, c.q, width)
+				e.SerialNsPerStep = serial.NsPerStep
+				e.SpeedupVsSerial = serial.NsPerStep / e.NsPerStep
+				rep.Entries = append(rep.Entries, e)
 			}
 		}
 	}
@@ -284,9 +302,26 @@ func gate(base, cur Report, threshold float64) []string {
 }
 
 func printTable(rep Report) {
-	fmt.Printf("%-34s %12s %12s %10s\n", "cell", "ns/step", "allocs/step", "B/step")
+	speedups := false
 	for _, e := range rep.Entries {
-		fmt.Printf("%-34s %12.1f %12d %10d\n", e.key(), e.NsPerStep, e.AllocsPerStep, e.BytesPerStep)
+		if e.SpeedupVsSerial > 0 {
+			speedups = true
+			break
+		}
+	}
+	if !speedups {
+		fmt.Printf("%-34s %12s %12s %10s\n", "cell", "ns/step", "allocs/step", "B/step")
+		for _, e := range rep.Entries {
+			fmt.Printf("%-34s %12.1f %12d %10d\n", e.key(), e.NsPerStep, e.AllocsPerStep, e.BytesPerStep)
+		}
+		return
+	}
+	fmt.Printf("%-34s %12s %12s %10s %11s %10s\n",
+		"cell", "ns/step", "allocs/step", "B/step", "serial", "speedup")
+	for _, e := range rep.Entries {
+		fmt.Printf("%-34s %12.1f %12d %10d %11.1f %9.2fx\n",
+			e.key(), e.NsPerStep, e.AllocsPerStep, e.BytesPerStep,
+			e.SerialNsPerStep, e.SpeedupVsSerial)
 	}
 }
 

@@ -1,9 +1,11 @@
 package batch_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/batch"
+	"repro/internal/core"
 	"repro/internal/ode"
 )
 
@@ -40,6 +42,63 @@ func TestRoundAllocationFree(t *testing.T) {
 		bi.Round()
 	}); n != 0 {
 		t.Fatalf("warm lockstep Round allocates %v times per call, want 0", n)
+	}
+}
+
+// TestDecideLanesAllocationFree pins the lane-planar decide warm path at
+// zero allocations with the double-checking detectors wired in, across both
+// strategies, every detector order, and two batch widths: the batched row
+// norms, the staged CheckContext, the kernel groups, and the grow-once
+// estimator workspaces must all have reached steady state after warmup.
+func TestDecideLanesAllocationFree(t *testing.T) {
+	p := testProblem()
+	for _, strat := range []string{"lip", "bdf"} {
+		for q := 1; q <= 3; q++ {
+			for _, width := range []int{4, 8} {
+				t.Run(fmt.Sprintf("%s/q=%d/B=%d", strat, q, width), func(t *testing.T) {
+					bi := batch.New(batch.Config{
+						Tab: ode.HeunEuler(), Ctrl: ode.DefaultController(p.TolA, p.TolR),
+						MaxSteps: 1 << 18, MaxStep: p.MaxStep,
+					}, width, len(p.X0))
+					// Detectors and lane wiring persist across reseeds so the
+					// measured loop exercises only the recycled path.
+					lcs := make([]batch.LaneConfig, width)
+					for i := range lcs {
+						var dc *core.DoubleCheck
+						if strat == "lip" {
+							dc = core.NewLBDC()
+						} else {
+							dc = core.NewIBDC()
+						}
+						dc.NoAdapt = true
+						dc.SetOrder(q)
+						lcs[i] = batch.LaneConfig{
+							Sys: p.SysInstance(), Validator: dc,
+							T0: p.T0, TEnd: p.TEnd, X0: p.X0, H0: p.H0,
+						}
+					}
+					seed := func() {
+						bi.Reset()
+						for i := range lcs {
+							bi.AddLane(lcs[i])
+						}
+					}
+					seed()
+					for i := 0; i < 50 && bi.Live() > 0; i++ {
+						bi.Round() // warm every lazily grown buffer
+					}
+					seed()
+					if n := testing.AllocsPerRun(100, func() {
+						if bi.Live() == 0 {
+							seed()
+						}
+						bi.Round()
+					}); n != 0 {
+						t.Fatalf("warm batched decide allocates %v times per round, want 0", n)
+					}
+				})
+			}
+		}
 	}
 }
 

@@ -102,9 +102,11 @@ type LaneConfig struct {
 // mutable storage is the engine's structure-of-arrays scratch, which is
 // fully rewritten every round.
 type Lane struct {
-	cfg    LaneConfig
-	engine control.Engine
-	hist   *ode.History
+	cfg       LaneConfig
+	engine    control.Engine
+	hist      *ode.History
+	gen       uint64 // bumped by AddLane; invalidates staged LaneDecide views
+	scalarVal bool   // validator runs its scalar fallback, so it may read ErrVec
 
 	t, tEnd float64
 	h       float64 // step size the next trial of a NEW step will use
@@ -115,6 +117,14 @@ type Lane struct {
 	fNext     la.Vec // cached f(t, x) reusable as the next first stage
 	xTrialBuf la.Vec // transient state copy for StateHook corruption
 	weights   la.Vec
+
+	// Per-lane gather buffers: dense copies of the lane's trial columns,
+	// identity-stable across rounds so the engine's staged CheckContext and
+	// the LaneDecide views stay valid (views of these are handed to
+	// lane-scalar code under the usual only-during-the-call read contract).
+	xPropV la.Vec // proposed solution (column s of xprop)
+	errV   la.Vec // embedded error estimate (column s of errv)
+	fsalV  la.Vec // FSAL last stage f(T+H, XProp), when the pair has one
 
 	xTrial         la.Vec // the state this round's trial reads: x or xTrialBuf
 	stateInj       int
@@ -181,10 +191,22 @@ type Integrator struct {
 	heffs  []float64 // per-slot effective step sizes
 	alphas []float64 // per-slot AXPY coefficients
 
-	// Per-lane gather scratch, reused sequentially within a round. Views of
-	// these are handed to lane-scalar code (Eval, Decide, OnTrial) under the
-	// same only-during-the-call validity contract the serial integrator uses.
-	evalX, evalK, xPropL, errL, fPropL la.Vec
+	// Per-lane gather scratch for the right-hand-side evaluations, reused
+	// sequentially within a round. Views of these are handed to Sys.Eval under
+	// the same only-during-the-call validity contract the serial integrator
+	// uses. (The decision path's gathers live on the lanes: Lane.xPropV/errV/
+	// fsalV, which must keep their identity across rounds.)
+	evalX, evalK la.Vec
+
+	// Lane-planar decision state: the batched engine and the per-slot
+	// LaneDecide/Check staging. ldLane/ldGen memoize which lane (and which
+	// AddLane generation of it) each staged LaneDecide describes, so rounds
+	// without compaction churn rewrite only the per-trial scalars.
+	be     control.BatchEngine
+	lds    []control.LaneDecide
+	checks []control.Check
+	ldLane []*Lane
+	ldGen  []uint64
 }
 
 // New returns a lockstep integrator for up to width lanes of dimension dim
@@ -223,9 +245,10 @@ func New(cfg Config, width, dim int) *Integrator {
 	b.alphas = make([]float64, width)
 	b.evalX = la.NewVec(dim)
 	b.evalK = la.NewVec(dim)
-	b.xPropL = la.NewVec(dim)
-	b.errL = la.NewVec(dim)
-	b.fPropL = la.NewVec(dim)
+	b.lds = make([]control.LaneDecide, width)
+	b.checks = make([]control.Check, width)
+	b.ldLane = make([]*Lane, width)
+	b.ldGen = make([]uint64, width)
 	return b
 }
 
@@ -262,6 +285,7 @@ func (b *Integrator) AddLane(lc LaneConfig) *Lane {
 	}
 	ln := b.lanes[b.n]
 	b.n++
+	ln.gen++
 	ln.cfg = lc
 	ln.t, ln.tEnd = lc.T0, lc.TEnd
 	ln.h = lc.H0
@@ -281,6 +305,9 @@ func (b *Integrator) AddLane(lc LaneConfig) *Lane {
 		ln.fNext = la.NewVec(m)
 		ln.xTrialBuf = la.NewVec(m)
 		ln.weights = la.NewVec(m)
+		ln.xPropV = la.NewVec(m)
+		ln.errV = la.NewVec(m)
+		ln.fsalV = la.NewVec(m)
 	}
 	ln.x.CopyFrom(lc.X0)
 	ln.xTrial = nil
@@ -296,6 +323,11 @@ func (b *Integrator) AddLane(lc LaneConfig) *Lane {
 	ln.done = false
 	ln.engine.Reset(m)
 	ln.engine.Validator = lc.Validator
+	// Only validators without the batched seam read ctx.ErrVec (the lane
+	// walk's scalar fallback); everyone else gets the error estimate through
+	// the batched scoring, so their errV gather can be skipped per round.
+	_, batched := lc.Validator.(control.BatchValidator)
+	ln.scalarVal = lc.Validator != nil && !batched
 	ln.hist.Push(lc.T0, 0, ln.x)
 	return ln
 }
@@ -311,8 +343,9 @@ func (b *Integrator) Run() {
 // Round executes one lockstep round — exactly one trial per live lane — and
 // reports whether live lanes remain. A round is the batched analog of one
 // iteration of the serial integrator's attempt loop: per-lane pre-trial
-// bookkeeping, one batched structure-of-arrays trial, then the per-lane
-// protected-step decision with accept/reject divergence handled per lane.
+// bookkeeping, one batched structure-of-arrays trial, the lane-planar
+// protected-step decision for the whole batch, then the per-lane
+// accept/reject state updates with divergence handled per lane.
 func (b *Integrator) Round() bool {
 	for s := 0; s < b.n; s++ {
 		b.prep(b.lanes[s])
@@ -325,8 +358,9 @@ func (b *Integrator) Round() bool {
 		b.load(b.lanes[s], s)
 	}
 	b.trialRound()
+	b.decideLanes()
 	for s := 0; s < b.n; s++ {
-		b.decide(b.lanes[s], s)
+		b.finish(b.lanes[s], s)
 	}
 	b.compact()
 	return b.n > 0
@@ -395,67 +429,113 @@ func (b *Integrator) load(ln *Lane, s int) {
 	}
 }
 
-// decide runs the per-lane protected-step decision on slot s of the freshly
-// computed batched trial: the shared control.Engine.Decide pipeline, the
-// observer callbacks, and the serial integrator's accept/reject state
-// updates — divergent verdicts simply leave each lane's (attempt, hEff)
-// where its own path put them.
-func (b *Integrator) decide(ln *Lane, s int) {
+// decideLanes runs the lane-planar protected-step decision on the freshly
+// computed batched trial: it gathers every live slot's proposal, error
+// estimate, and (when the pair has one) FSAL last stage into the lane's
+// identity-stable dense views, stages the per-slot LaneDecide — in full when
+// the slot's lane or AddLane generation changed, scalars-only otherwise —
+// and hands the whole round to control.BatchEngine.DecideLanes, which fills
+// b.checks with each lane's verdict.
+func (b *Integrator) decideLanes() {
 	tab := b.cfg.Tab
-	gatherCol(b.xPropL, b.xprop, s, b.dim, b.width)
-	gatherCol(b.errL, b.errv, s, b.dim, b.width)
+	w, dim := b.width, b.dim
+	var kLast []float64
+	if tab.FSAL {
+		kLast = b.k[tab.Stages()-1]
+	}
+	for s := 0; s < b.n; s++ {
+		ln := b.lanes[s]
+		gatherCol(ln.xPropV, b.xprop, s, dim, w)
+		if ln.scalarVal {
+			// Only a scalar-fallback validator reads the dense ErrVec view;
+			// batched scoring reads the error rows in place.
+			gatherCol(ln.errV, b.errv, s, dim, w)
+		}
+		var fsal la.Vec
+		if kLast != nil {
+			gatherCol(ln.fsalV, kLast, s, dim, w)
+			fsal = ln.fsalV
+		}
+		ld := &b.lds[s]
+		if b.ldLane[s] != ln || b.ldGen[s] != ln.gen {
+			*ld = control.LaneDecide{
+				Eng:  &ln.engine,
+				Step: ln.stats.Steps, T: ln.t, H: ln.hEff,
+				XStart: ln.xTrial, XStored: ln.x, XProp: ln.xPropV, ErrVec: ln.errV,
+				Weights: ln.weights, Hist: ln.hist,
+				Sys: ln.cfg.Sys, Hook: ln.cfg.Hook, Fsal: fsal,
+			}
+			b.ldLane[s] = ln
+			b.ldGen[s] = ln.gen
+			continue
+		}
+		ld.Step = ln.stats.Steps
+		ld.T, ld.H = ln.t, ln.hEff
+		ld.XStart = ln.xTrial
+		ld.Fsal = fsal
+	}
+	b.be.DecideLanes(&b.cfg.Ctrl, tab, dim, w, b.n, b.xprop, b.errv, b.lds, b.checks)
+}
+
+// finish applies slot s's decision to its lane: the counters, the observer
+// callbacks, and the serial integrator's accept/reject state updates —
+// divergent verdicts simply leave each lane's (attempt, hEff) where its own
+// path put them.
+func (b *Integrator) finish(ln *Lane, s int) {
+	tab := b.cfg.Tab
+	chk := &b.checks[s]
 	var fsal la.Vec
 	if tab.FSAL {
-		gatherCol(b.fPropL, b.k[tab.Stages()-1], s, b.dim, b.width)
-		fsal = b.fPropL
+		fsal = ln.fsalV
 	}
 	ln.stats.TrialSteps++
 	ln.stats.Evals += int64(ln.resEvals)
 	ln.stats.Injections += int64(ln.resInjections)
-
-	chk := ln.engine.Decide(&b.cfg.Ctrl, ln.stats.Steps, ln.t, ln.hEff,
-		ln.xTrial, ln.x, b.xPropL, b.errL, ln.weights,
-		ln.hist, tab, ln.cfg.Sys, ln.cfg.Hook, fsal)
 	sErr1 := chk.SErr1
 	ln.stats.Evals += int64(chk.FPropEvals)
-
-	// The trial record lives on the lane so taking its address for OnTrial
-	// does not allocate per trial (the serial integrator's own layout).
-	ln.trial = ode.Trial{
-		StepIndex: ln.stats.Steps, Attempt: ln.attempt,
-		T: ln.t, H: ln.hEff,
-		XStart: ln.x, XProp: b.xPropL, Weights: ln.weights,
-		SErr1:               sErr1,
-		Injections:          ln.resInjections,
-		StateInjections:     ln.stateInj,
-		InheritedCorruption: ln.haveFNext && ln.fNextCorrupted,
-		EstimateInjections:  chk.EstimateInjections,
-		ClassicReject:       chk.ClassicReject,
-		SErr2:               chk.SErr2,
-		DetOrder:            chk.DetOrder,
-		DetWindow:           chk.DetWindow,
-		Significance:        telemetry.SigUnknown,
-	}
-	trial := &ln.trial
-	switch chk.Verdict {
-	case ode.VerdictReject:
-		trial.ValidatorReject = true
-	case ode.VerdictFPRescue:
-		trial.FPRescue = true
+	if chk.Verdict == ode.VerdictFPRescue {
 		ln.stats.FPRescues++
 	}
 	accepted := chk.Accepted()
-	trial.Accepted = accepted
-	if ln.cfg.OnTrial != nil {
-		ln.cfg.OnTrial(trial)
-	}
-	if ln.cfg.Tracer != nil {
-		ln.cfg.Tracer.Record(trial.Event())
+
+	if ln.cfg.OnTrial != nil || ln.cfg.Tracer != nil {
+		// The trial record lives on the lane so taking its address for OnTrial
+		// does not allocate per trial (the serial integrator's own layout).
+		// Unobserved lanes skip the record entirely.
+		ln.trial = ode.Trial{
+			StepIndex: ln.stats.Steps, Attempt: ln.attempt,
+			T: ln.t, H: ln.hEff,
+			XStart: ln.x, XProp: ln.xPropV, Weights: ln.weights,
+			SErr1:               sErr1,
+			Injections:          ln.resInjections,
+			StateInjections:     ln.stateInj,
+			InheritedCorruption: ln.haveFNext && ln.fNextCorrupted,
+			EstimateInjections:  chk.EstimateInjections,
+			ClassicReject:       chk.ClassicReject,
+			SErr2:               chk.SErr2,
+			DetOrder:            chk.DetOrder,
+			DetWindow:           chk.DetWindow,
+			Significance:        telemetry.SigUnknown,
+		}
+		trial := &ln.trial
+		switch chk.Verdict {
+		case ode.VerdictReject:
+			trial.ValidatorReject = true
+		case ode.VerdictFPRescue:
+			trial.FPRescue = true
+		}
+		trial.Accepted = accepted
+		if ln.cfg.OnTrial != nil {
+			ln.cfg.OnTrial(trial)
+		}
+		if ln.cfg.Tracer != nil {
+			ln.cfg.Tracer.Record(trial.Event())
+		}
 	}
 
 	if accepted {
 		ln.t += ln.hEff
-		ln.x.CopyFrom(b.xPropL)
+		ln.x.CopyFrom(ln.xPropV)
 		ln.hist.Push(ln.t, ln.hEff, ln.x)
 		ln.stats.Steps++
 		// Cache f(t, x) for reuse as the next first stage.
@@ -491,7 +571,7 @@ func (b *Integrator) decide(ln *Lane, s int) {
 		return
 	}
 
-	if trial.ClassicReject {
+	if chk.ClassicReject {
 		ln.stats.RejectedClassic++
 		ln.hEff = b.cfg.Ctrl.RejectStepSize(ln.hEff, sErr1, tab.ControlOrder())
 	} else {

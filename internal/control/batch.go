@@ -1,0 +1,330 @@
+// Lane-planar decide path: the protected-step decision of a whole lockstep
+// batch evaluated across lanes instead of per lane. The scalar Engine.Decide
+// remains the oracle — every lane of DecideLanes must produce the bitwise
+// identical Check a serial Decide of that lane would — and the fallback: a
+// Validator that does not implement BatchValidator runs unchanged, per lane,
+// inside the batched walk.
+//
+// The split mirrors the structure of the double-check itself. Everything
+// order- and policy-dependent (Algorithm 1's (q, c) state machine, the
+// false-positive rescue, the effective-order clamp) is inherently per lane
+// and stays scalar, expressed by BatchValidator.PlanBatch; the dense math —
+// error weights, the first scaled error, the second estimate, the second
+// scaled error — is plain linear algebra that amortizes across lanes and
+// runs through the row kernels of internal/la and the registered
+// BatchKernels. BatchValidator.FinishBatch then applies the per-lane verdict
+// arithmetic to the batched SErr_2.
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// LaneDecide is one lane's slice of the batched decision: the same arguments
+// Engine.Decide takes, as a struct the caller keeps per slot. The vector
+// fields are views that must keep their backing identity between the lane
+// engine's Reset calls (the lockstep integrator owns per-lane gather buffers
+// for exactly this reason); XStart and Fsal may change identity per trial.
+type LaneDecide struct {
+	Eng  *Engine
+	Step int
+	T, H float64
+
+	XStart  la.Vec // state the trial actually read
+	XStored la.Vec // stored (clean) solution
+	XProp   la.Vec // dense view of the lane's proposed-solution column
+	ErrVec  la.Vec // dense error-estimate view; gathered only for scalar-fallback validators
+	Weights la.Vec // lane-owned weights, refreshed by DecideLanes
+
+	Hist *History
+	Sys  System
+	Hook StageHook
+	Fsal la.Vec // f(T+H, XProp) from an FSAL last stage, or nil
+}
+
+// KernelLane is one lane's share of a batched second-estimate request.
+type KernelLane struct {
+	Slot int      // column of the [dim][width] estimate buffer to fill
+	Hist *History // the lane's accepted-solution ring
+	Q    int      // effective order (already clamped by PlanBatch)
+	T    float64  // estimate time (the trial's T+H)
+	F    la.Vec   // f(T+H, XProp) for integration-based kernels, else nil
+}
+
+// BatchKernel computes second estimates for many lanes in one call, writing
+// each lane's estimate into its slot column of the row-major [dim][width]
+// dst. Implementations must keep each slot's floating-point stream bitwise
+// identical to the scalar estimator the detector's Validate would run, and
+// must not allocate in steady state.
+type BatchKernel interface {
+	EstimateLanes(dst []float64, dim, width int, lanes []KernelLane)
+}
+
+// EstimatePlan is the outcome of a BatchValidator's scalar planning phase.
+// Either Kernel names a registered BatchKernel that will compute the lane's
+// second estimate at order Q (with F forwarded to it), or Aux carries an
+// estimate the validator already computed itself (Richardson's half-step
+// recomputation); Aux must stay valid until DecideLanes returns.
+type EstimatePlan struct {
+	Kernel  string  // registered kernel name; "" when Aux is set
+	Q       int     // effective order for the kernel
+	F       la.Vec  // f(T+H, XProp) for kernels that consume it, else nil
+	Aux     la.Vec  // validator-computed estimate, scattered directly
+	Verdict Verdict // the decision, when PlanBatch reports no estimate needed
+}
+
+// BatchValidator is the batched-capability seam of the detector registry: a
+// Validator that splits its double-check into a scalar plan, a batched
+// estimate, and a scalar finish. The contract is exactness: for any check,
+//
+//	need := v.PlanBatch(c, &plan)
+//	if !need { verdict = plan.Verdict }
+//	else     { verdict = v.FinishBatch(c, sErr2(plan)) }
+//
+// must equal v.Validate(c) bit for bit, where sErr2(plan) is the scaled
+// difference of XProp and the plan's estimate under the refreshed weights.
+// PlanBatch writes its whole outcome through plan (caller-owned scratch,
+// passed by pointer so the per-lane hot loop copies no structs; overwrite
+// every field you rely on — the buffer is reused across lanes). PlanBatch
+// may read the CheckContext's XStart/XStored/XProp views, the history, and
+// call FProp; it must not rely on ErrVec, which the lane-planar path stages
+// only for scalar-fallback validators. FinishBatch must not touch the vector
+// views at all (the batch has moved on), only scalars and ReportCheck.
+// Validators without this interface fall back to their scalar Validate
+// inside the lane walk, unchanged.
+type BatchValidator interface {
+	Validator
+	PlanBatch(c *CheckContext, plan *EstimatePlan) (needEstimate bool)
+	FinishBatch(c *CheckContext, sErr2 float64) Verdict
+}
+
+// batchKernelRegistry maps kernel names (the Strategy names "lip"/"bdf") to
+// factories; each BatchEngine instantiates its own kernels so their grow-once
+// workspaces are engine-private. Registration happens in package inits
+// (internal/ode registers the estimator kernels), mirroring the detector
+// registry: duplicates panic at program start.
+var batchKernelRegistry = map[string]func() BatchKernel{}
+
+// RegisterBatchKernel adds a named batched-estimate kernel factory.
+func RegisterBatchKernel(name string, f func() BatchKernel) {
+	if _, dup := batchKernelRegistry[name]; dup {
+		panic(fmt.Sprintf("control: batch kernel %q registered twice", name))
+	}
+	batchKernelRegistry[name] = f
+}
+
+// HasBatchKernel reports whether a kernel is registered under name. Detectors
+// probe it once at init: a strategy without a registered kernel plans its
+// estimate scalar-side (EstimatePlan.Aux) instead of naming a kernel.
+func HasBatchKernel(name string) bool {
+	_, ok := batchKernelRegistry[name]
+	return ok
+}
+
+// pendLane is one lane awaiting its FinishBatch after the kernel phase.
+type pendLane struct {
+	slot int
+	bv   BatchValidator
+	eng  *Engine
+}
+
+// kernelSlot pairs an instantiated kernel with its per-round lane group.
+// Groups run in kernel-instantiation order — a slice, never a map walk — so
+// the phase order is deterministic (not that any lane could tell: kernels
+// write disjoint columns).
+type kernelSlot struct {
+	name  string
+	k     BatchKernel
+	lanes []KernelLane
+}
+
+// BatchEngine evaluates the protected-step decision for every live lane of a
+// lockstep batch: the poison test, the error weights, and both scaled errors
+// run as row kernels over the structure-of-arrays trial state; the
+// detector's second estimates run through batched kernels grouped across
+// lanes; only the per-lane policy arithmetic and non-batched validators run
+// scalar. The zero value is ready; scratch grows once to the batch shape and
+// is reused by every later round, so warm rounds allocate nothing.
+type BatchEngine struct {
+	dim, width int
+
+	wts   []float64 // [dim][width] refreshed error weights
+	est   []float64 // [dim][width] second estimates
+	serr1 []float64 // per-slot classic scaled error
+	serr2 []float64 // per-slot second scaled error
+	mask  []bool    // per-slot NaN/Inf poison flag
+
+	kernels []kernelSlot
+	pend    []pendLane
+	plan    EstimatePlan // PlanBatch out-param scratch (a local would escape)
+}
+
+// ensure grows the engine scratch to the batch shape. Shape changes are
+// config-level events (a new campaign cell), never steady-state.
+func (e *BatchEngine) ensure(dim, width int) {
+	if e.dim == dim && e.width == width {
+		return
+	}
+	e.dim, e.width = dim, width
+	e.wts = make([]float64, dim*width)
+	e.est = make([]float64, dim*width)
+	e.serr1 = make([]float64, width)
+	e.serr2 = make([]float64, width)
+	e.mask = make([]bool, width)
+	e.pend = make([]pendLane, 0, width)
+	for i := range e.kernels {
+		e.kernels[i].lanes = make([]KernelLane, 0, width)
+	}
+}
+
+// kernel returns the engine's instance of the named kernel, instantiating it
+// from the registry on first use (a config-level event: one per detector
+// kind per engine lifetime).
+func (e *BatchEngine) kernel(name string) *kernelSlot {
+	for i := range e.kernels {
+		if e.kernels[i].name == name {
+			return &e.kernels[i]
+		}
+	}
+	f, ok := batchKernelRegistry[name]
+	if !ok {
+		panic(fmt.Sprintf("control: no batch kernel registered as %q", name))
+	}
+	//lint:allow allocfree -- one-time kernel instantiation: first check of a detector kind, reused by every later round
+	e.kernels = append(e.kernels, kernelSlot{name: name, k: f(), lanes: make([]KernelLane, 0, e.width)})
+	return &e.kernels[len(e.kernels)-1]
+}
+
+// DecideLanes runs the protected-step decision for the live slots [0, n) of
+// one lockstep round, writing each lane's Check into out. xprop and errv are
+// the round's row-major [dim][width] proposal and error-estimate state; the
+// per-lane XProp views in lanes must alias copies of those columns (the
+// lockstep integrator gathers them), so scalar validators and row kernels
+// read the same bits. ErrVec need only be fresh for lanes whose validator
+// runs the scalar fallback — no one else reads it, so the integrator skips
+// that gather for batched and validator-less lanes.
+//
+// The walk is four phases: (1) batched scoring — poison mask, error weights,
+// and SErr_1 for all lanes in one fused row pass (la.ScoreRows), then the
+// per-lane classic test with the weights scattered back into each unpoisoned
+// lane's Weights (poisoned lanes keep stale weights and SErr_1 = +Inf,
+// exactly as the scalar Decide leaves them); (2) the per-lane scalar phase —
+// classic-rejected lanes stop, nil-Validator lanes accept, non-batched
+// validators run their scalar Validate in place, BatchValidators plan;
+// (3) planned estimates — Aux estimates scatter directly, kernel requests
+// run grouped per kernel, then one batched SErr_2 row pass; (4) per-lane
+// FinishBatch with the harvest shared with the scalar Decide.
+//
+// DecideLanes is the hot path of the lockstep engine: warm rounds must not
+// allocate (see the allocfree gate in cmd/sdcvet).
+func (e *BatchEngine) DecideLanes(ctrl *Controller, tab *Tableau, dim, width, n int,
+	xprop, errv []float64, lanes []LaneDecide, out []Check) {
+	if n > len(lanes) || n > len(out) {
+		panic("control: DecideLanes lane/out slices shorter than n")
+	}
+	e.ensure(dim, width)
+
+	// Phase 1: batched scoring — one fused row pass computes the poison
+	// mask, the error weights, and SErr_1 for every live slot.
+	mask := e.mask[:n]
+	for s := range mask {
+		mask[s] = false
+	}
+	la.ScoreRows(e.serr1, e.mask, e.wts, xprop, errv, dim, width, n,
+		ctrl.TolA, ctrl.TolR, ctrl.MaxNorm)
+
+	// Phase 2: per-lane classic test, planning, and scalar fallbacks.
+	anyPend := false
+	plan := &e.plan
+	for s := 0; s < n; s++ {
+		ld := &lanes[s]
+		chk := &out[s]
+		// Field-wise reset of the per-slot Check: cheaper than a composite
+		// literal copy on the hot path, same result (Verdict's zero value is
+		// VerdictAccept).
+		chk.SErr1 = math.Inf(1)
+		chk.ClassicReject = false
+		chk.Verdict = VerdictAccept
+		chk.SErr2 = -1
+		chk.DetOrder = -1
+		chk.DetWindow = -1
+		chk.EstimateInjections = 0
+		chk.FPropEvals = 0
+		chk.FProp = nil
+		if !mask[s] {
+			w := ld.Weights
+			for d := 0; d < dim; d++ {
+				w[d] = e.wts[d*width+s]
+			}
+			chk.SErr1 = e.serr1[s]
+		}
+		eng := ld.Eng
+		if ClassicReject(chk.SErr1) {
+			chk.ClassicReject = true
+			eng.rejectedLast = false
+			continue
+		}
+		v := eng.Validator
+		if v == nil {
+			continue
+		}
+		eng.stage(ctrl, tab, ld, chk.SErr1)
+		bv, ok := v.(BatchValidator)
+		if !ok {
+			// Scalar fallback: the validator runs exactly as under Decide.
+			chk.Verdict = v.Validate(&eng.ctx)
+			eng.harvest(chk)
+			continue
+		}
+		if !bv.PlanBatch(&eng.ctx, plan) {
+			chk.Verdict = plan.Verdict
+			eng.harvest(chk)
+			continue
+		}
+		if plan.Aux != nil {
+			col := e.est[s:]
+			for d := 0; d < dim; d++ {
+				col[d*width] = plan.Aux[d]
+			}
+		} else {
+			g := e.kernel(plan.Kernel)
+			g.lanes = append(g.lanes, KernelLane{
+				Slot: s, Hist: ld.Hist, Q: plan.Q, T: ld.T + ld.H, F: plan.F,
+			})
+		}
+		e.pend = append(e.pend, pendLane{slot: s, bv: bv, eng: eng})
+		anyPend = true
+	}
+	if !anyPend {
+		return
+	}
+
+	// Phase 3: batched second estimates and the batched SErr_2.
+	for i := range e.kernels {
+		g := &e.kernels[i]
+		if len(g.lanes) == 0 {
+			continue
+		}
+		g.k.EstimateLanes(e.est, dim, width, g.lanes)
+		g.lanes = g.lanes[:0]
+	}
+	// Stale columns (lanes without a pending estimate) are computed and
+	// discarded: the row pass over the dense prefix is cheaper than masking.
+	if ctrl.MaxNorm {
+		la.WMaxDiffRows(e.serr2, xprop, e.est, e.wts, dim, width, n)
+	} else {
+		la.WRMSDiffRows(e.serr2, xprop, e.est, e.wts, dim, width, n)
+	}
+
+	// Phase 4: per-lane verdicts.
+	for i := range e.pend {
+		p := &e.pend[i]
+		chk := &out[p.slot]
+		chk.Verdict = p.bv.FinishBatch(&p.eng.ctx, e.serr2[p.slot])
+		p.eng.harvest(chk)
+	}
+	e.pend = e.pend[:0]
+}

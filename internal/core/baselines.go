@@ -370,8 +370,22 @@ func NewRichardson(tab *ode.Tableau, sys ode.System) *Richardson {
 	return &Richardson{Sys: sys, Factor: 2, stepper: ode.NewStepper(tab, sys)}
 }
 
-// Validate implements ode.Validator.
+// Validate implements ode.Validator. Like DoubleCheck it is composed from
+// the PlanBatch/FinishBatch phases the lane-planar engine runs, with the
+// scaled difference computed inline.
 func (r *Richardson) Validate(c *ode.CheckContext) ode.Verdict {
+	var plan ode.EstimatePlan
+	r.PlanBatch(c, &plan)
+	sErr := c.Ctrl.ScaledDiff(c.XProp, plan.Aux, c.Weights)
+	return r.FinishBatch(c, sErr)
+}
+
+// PlanBatch implements ode.BatchValidator. Richardson's "estimate" is the
+// two half-step recomputation, which no cross-lane kernel can amortize, so
+// the plan always hands it over as Aux (a view into the validator-owned
+// stepper, valid until the next Trial — i.e. through the batched SErr_2
+// pass, since each lane owns its validator).
+func (r *Richardson) PlanBatch(c *ode.CheckContext, plan *ode.EstimatePlan) bool {
 	r.Stats.Checks++
 	if r.stepper == nil {
 		r.stepper = ode.NewStepper(c.Tab, r.Sys)
@@ -387,9 +401,15 @@ func (r *Richardson) Validate(c *ode.CheckContext) ode.Verdict {
 	res1 := r.stepper.Trial(c.T, half, c.XStored, nil, nil)
 	r.mid.CopyFrom(res1.XProp)
 	res2 := r.stepper.Trial(c.T+half, half, r.mid, nil, nil)
-	sErr := c.Ctrl.ScaledDiff(c.XProp, res2.XProp, c.Weights)
-	c.ReportCheck(sErr, -1, -1)
-	if sErr > r.Factor {
+	*plan = ode.EstimatePlan{Aux: res2.XProp}
+	return true
+}
+
+// FinishBatch implements ode.BatchValidator: judge the (batched) scaled
+// difference against the acceptance factor.
+func (r *Richardson) FinishBatch(c *ode.CheckContext, sErr2 float64) ode.Verdict {
+	c.ReportCheck(sErr2, -1, -1)
+	if sErr2 > r.Factor {
 		r.Stats.Rejections++
 		return ode.VerdictReject
 	}

@@ -15,7 +15,10 @@ import (
 // This file holds the batched campaign engines (Config.Batch >= 2): groups
 // of consecutive replicates run as lanes of one lockstep structure-of-arrays
 // batch (internal/batch) instead of one at a time through the serial
-// integrator. Replicate wiring (wireReplicate), substream draws (nextJob, in
+// integrator — stage sweep and protected-step decision both lane-planar
+// (control.BatchEngine.DecideLanes batches the detector math; validators
+// without the batched seam fall back to their scalar Validate per lane).
+// Replicate wiring (wireReplicate), substream draws (nextJob, in
 // replicate order), outcome accounting (collectOutcome), and the merge-time
 // stopping rule are all shared with the serial engines, and the lockstep
 // engine itself is lane-by-lane bitwise identical to the serial integrator,

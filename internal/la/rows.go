@@ -1,0 +1,224 @@
+package la
+
+import "math"
+
+// This file holds the lane-planar (structure-of-arrays) forms of the scaled
+// error norms: the decision math of the protected step evaluated for a whole
+// lockstep batch in one pass. Operands are row-major [dim][width] buffers —
+// dim contiguous rows of width columns, one column per lane slot — and every
+// kernel writes one result per slot into a dst parameter, so steady-state
+// callers allocate nothing.
+//
+// Bit-identity contract: each slot's floating-point stream is exactly the
+// scalar kernel's. The accumulation loops run dimension-major (d outer,
+// slot inner), so slot s accumulates its components in the same ascending
+// index order as the scalar WRMS/WMax over that lane's dense vector, and the
+// per-element arithmetic (r = e/w; s += r*r, or the running-max compare) is
+// written identically. The lane-planar decide path is therefore bitwise
+// interchangeable with the serial oracle — the property the batch package's
+// differential suites enforce.
+
+// checkRows panics unless every row buffer covers dim rows of width columns
+// and the live prefix n fits the width — the shared precondition of the
+// lane-planar kernels, checked once per call rather than per row.
+func checkRows(fn string, dim, width, n int, lens ...int) {
+	if dim < 0 || width < 1 || n < 0 || n > width {
+		panic("la: " + fn + " invalid shape")
+	}
+	for _, l := range lens {
+		if l < dim*width {
+			panic("la: " + fn + " row buffer too short")
+		}
+	}
+}
+
+// ErrWeightsRows fills w[d*width+s] = tolA + tolR*|x[d*width+s]| for every
+// component d and live slot s — the lane-planar ErrWeights.
+func ErrWeightsRows(w, x []float64, dim, width, n int, tolA, tolR float64) {
+	checkRows("ErrWeightsRows", dim, width, n, len(w), len(x))
+	for d := 0; d < dim; d++ {
+		wr := w[d*width : d*width+n]
+		xr := x[d*width : d*width+n]
+		for s := range wr {
+			wr[s] = tolA + tolR*math.Abs(xr[s])
+		}
+	}
+}
+
+// WRMSRows fills dst[s] with WRMS of slot s's column of e under the weights
+// in w's matching column, for the live slots [0, n). A zero dimension yields
+// 0 for every slot, matching the scalar kernel's empty-vector convention.
+func WRMSRows(dst, e, w []float64, dim, width, n int) {
+	checkRows("WRMSRows", dim, width, n, len(e), len(w))
+	dr := dst[:n]
+	for s := range dr {
+		dr[s] = 0
+	}
+	if dim == 0 {
+		return
+	}
+	for d := 0; d < dim; d++ {
+		er := e[d*width : d*width+n]
+		wr := w[d*width : d*width+n]
+		for s := range dr {
+			r := er[s] / wr[s]
+			dr[s] += r * r
+		}
+	}
+	m := float64(dim)
+	for s := range dr {
+		dr[s] = math.Sqrt(dr[s] / m)
+	}
+}
+
+// WRMSDiffRows fills dst[s] with WRMS of (a-b) per slot column under w,
+// without materializing the difference — the lane-planar WRMSDiff.
+func WRMSDiffRows(dst, a, b, w []float64, dim, width, n int) {
+	checkRows("WRMSDiffRows", dim, width, n, len(a), len(b), len(w))
+	dr := dst[:n]
+	for s := range dr {
+		dr[s] = 0
+	}
+	if dim == 0 {
+		return
+	}
+	for d := 0; d < dim; d++ {
+		ar := a[d*width : d*width+n]
+		br := b[d*width : d*width+n]
+		wr := w[d*width : d*width+n]
+		for s := range dr {
+			r := (ar[s] - br[s]) / wr[s]
+			dr[s] += r * r
+		}
+	}
+	m := float64(dim)
+	for s := range dr {
+		dr[s] = math.Sqrt(dr[s] / m)
+	}
+}
+
+// WMaxRows fills dst[s] with the weighted max norm of slot s's column of e
+// under w — the lane-planar WMax (the q = infinity scaled error).
+func WMaxRows(dst, e, w []float64, dim, width, n int) {
+	checkRows("WMaxRows", dim, width, n, len(e), len(w))
+	dr := dst[:n]
+	for s := range dr {
+		dr[s] = 0
+	}
+	for d := 0; d < dim; d++ {
+		er := e[d*width : d*width+n]
+		wr := w[d*width : d*width+n]
+		for s := range dr {
+			if r := math.Abs(er[s] / wr[s]); r > dr[s] {
+				dr[s] = r
+			}
+		}
+	}
+}
+
+// WMaxDiffRows fills dst[s] with the weighted max norm of (a-b) per slot
+// column under w — the lane-planar WMaxDiff.
+func WMaxDiffRows(dst, a, b, w []float64, dim, width, n int) {
+	checkRows("WMaxDiffRows", dim, width, n, len(a), len(b), len(w))
+	dr := dst[:n]
+	for s := range dr {
+		dr[s] = 0
+	}
+	for d := 0; d < dim; d++ {
+		ar := a[d*width : d*width+n]
+		br := b[d*width : d*width+n]
+		wr := w[d*width : d*width+n]
+		for s := range dr {
+			if r := math.Abs((ar[s] - br[s]) / wr[s]); r > dr[s] {
+				dr[s] = r
+			}
+		}
+	}
+}
+
+// ScoreRows is the fused classic-scoring pass of the lane-planar decide
+// path: in one sweep over the [dim][width] rows it ORs mask[s] on for any
+// non-finite proposal or error component, fills the error weights
+// w = tolA + tolR*|x|, and accumulates the classic scaled error of e under
+// those weights into serr1 (WRMS, or the weighted max norm when maxNorm).
+// One memory pass replaces the NonFiniteRows ×2 + ErrWeightsRows + norm
+// sequence; the per-slot floating-point stream is unchanged — weights and
+// the d-ascending norm accumulation compute exactly the scalar kernels'
+// values, and the poison test is a pure predicate (v-v != 0 exactly for NaN
+// and ±Inf), so fusing is bitwise invisible. Masked slots still get weights
+// and a (meaningless) serr1; callers ignore both, exactly as with the
+// unfused sequence. The caller clears the mask.
+func ScoreRows(serr1 []float64, mask []bool, w, x, e []float64,
+	dim, width, n int, tolA, tolR float64, maxNorm bool) {
+	checkRows("ScoreRows", dim, width, n, len(w), len(x), len(e))
+	if len(mask) < n || len(serr1) < n {
+		panic("la: ScoreRows mask or serr1 too short")
+	}
+	mr := mask[:n]
+	dr := serr1[:n]
+	for s := range dr {
+		dr[s] = 0
+	}
+	if dim == 0 {
+		return
+	}
+	if maxNorm {
+		for d := 0; d < dim; d++ {
+			xr := x[d*width : d*width+n]
+			er := e[d*width : d*width+n]
+			wr := w[d*width : d*width+n]
+			for s := range xr {
+				xv, ev := xr[s], er[s]
+				if xv-xv != 0 || ev-ev != 0 {
+					mr[s] = true
+				}
+				wv := tolA + tolR*math.Abs(xv)
+				wr[s] = wv
+				if r := math.Abs(ev / wv); r > dr[s] {
+					dr[s] = r
+				}
+			}
+		}
+		return
+	}
+	for d := 0; d < dim; d++ {
+		xr := x[d*width : d*width+n]
+		er := e[d*width : d*width+n]
+		wr := w[d*width : d*width+n]
+		for s := range xr {
+			xv, ev := xr[s], er[s]
+			if xv-xv != 0 || ev-ev != 0 {
+				mr[s] = true
+			}
+			wv := tolA + tolR*math.Abs(xv)
+			wr[s] = wv
+			r := ev / wv
+			dr[s] += r * r
+		}
+	}
+	m := float64(dim)
+	for s := range dr {
+		dr[s] = math.Sqrt(dr[s] / m)
+	}
+}
+
+// NonFiniteRows ORs mask[s] on for every live slot whose column of v holds a
+// NaN or ±Inf component — the lane-planar HasNaNOrInf. The caller clears the
+// mask; ORing lets one mask accumulate the poison test over several buffers
+// (the decide path tests both the proposal and the error estimate).
+func NonFiniteRows(mask []bool, v []float64, dim, width, n int) {
+	checkRows("NonFiniteRows", dim, width, n, len(v))
+	if len(mask) < n {
+		panic("la: NonFiniteRows mask too short")
+	}
+	mr := mask[:n]
+	for d := 0; d < dim; d++ {
+		vr := v[d*width : d*width+n]
+		for s := range vr {
+			x := vr[s]
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				mr[s] = true
+			}
+		}
+	}
+}

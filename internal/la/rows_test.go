@@ -1,0 +1,250 @@
+package la
+
+import (
+	"math"
+	"testing"
+)
+
+// The lane-planar kernels must be bitwise interchangeable with the scalar
+// norms per slot: the tests below gather each slot's column into a dense
+// vector, run the scalar kernel, and require exact (bit-level) agreement —
+// the same identity the batch decide path's differential suites build on.
+
+// rowsFixture builds a [dim][width] row-major buffer whose column s holds
+// fill(d, s), plus the per-slot dense gather.
+func rowsFixture(dim, width int, fill func(d, s int) float64) (rows []float64, cols []Vec) {
+	rows = make([]float64, dim*width)
+	cols = make([]Vec, width)
+	for s := 0; s < width; s++ {
+		cols[s] = NewVec(dim)
+	}
+	for d := 0; d < dim; d++ {
+		for s := 0; s < width; s++ {
+			v := fill(d, s)
+			rows[d*width+s] = v
+			cols[s][d] = v
+		}
+	}
+	return rows, cols
+}
+
+func bitsEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestErrWeightsRowsMatchesScalar(t *testing.T) {
+	const dim, width, n = 5, 8, 6
+	const tolA, tolR = 1e-6, 1e-4
+	x, xc := rowsFixture(dim, width, func(d, s int) float64 {
+		return math.Sin(float64(d*31+s*7+1)) * math.Pow(10, float64(s%5-2))
+	})
+	w := make([]float64, dim*width)
+	ErrWeightsRows(w, x, dim, width, n, tolA, tolR)
+	ref := NewVec(dim)
+	for s := 0; s < n; s++ {
+		ErrWeights(ref, xc[s], tolA, tolR)
+		for d := 0; d < dim; d++ {
+			if !bitsEq(w[d*width+s], ref[d]) {
+				t.Fatalf("slot %d component %d: rows %x, scalar %x", s, d,
+					math.Float64bits(w[d*width+s]), math.Float64bits(ref[d]))
+			}
+		}
+	}
+}
+
+func TestNormRowsMatchScalar(t *testing.T) {
+	const dim, width, n = 7, 8, 8
+	e, ec := rowsFixture(dim, width, func(d, s int) float64 {
+		return math.Cos(float64(d*13+s*5)) * 1e-5
+	})
+	a, ac := rowsFixture(dim, width, func(d, s int) float64 {
+		return math.Sin(float64(d+s)) + 2
+	})
+	b, bc := rowsFixture(dim, width, func(d, s int) float64 {
+		return math.Sin(float64(d+s)) + 2 + math.Cos(float64(d*s+1))*1e-6
+	})
+	w, wc := rowsFixture(dim, width, func(d, s int) float64 {
+		return 1e-6 + 1e-4*math.Abs(math.Sin(float64(d*3+s))+2)
+	})
+	dst := make([]float64, width)
+
+	cases := []struct {
+		name   string
+		rows   func()
+		scalar func(s int) float64
+	}{
+		{"WRMSRows", func() { WRMSRows(dst, e, w, dim, width, n) },
+			func(s int) float64 { return WRMS(ec[s], wc[s]) }},
+		{"WMaxRows", func() { WMaxRows(dst, e, w, dim, width, n) },
+			func(s int) float64 { return WMax(ec[s], wc[s]) }},
+		{"WRMSDiffRows", func() { WRMSDiffRows(dst, a, b, w, dim, width, n) },
+			func(s int) float64 { return WRMSDiff(ac[s], bc[s], wc[s]) }},
+		{"WMaxDiffRows", func() { WMaxDiffRows(dst, a, b, w, dim, width, n) },
+			func(s int) float64 { return WMaxDiff(ac[s], bc[s], wc[s]) }},
+	}
+	for _, tc := range cases {
+		tc.rows()
+		for s := 0; s < n; s++ {
+			if ref := tc.scalar(s); !bitsEq(dst[s], ref) {
+				t.Errorf("%s slot %d: rows %x, scalar %x", tc.name, s,
+					math.Float64bits(dst[s]), math.Float64bits(ref))
+			}
+		}
+	}
+}
+
+// TestNormRowsPartialLive pins the live-prefix contract: slots >= n are
+// neither read (no panic on poisoned dead columns) nor written.
+func TestNormRowsPartialLive(t *testing.T) {
+	const dim, width, n = 3, 4, 2
+	e, ec := rowsFixture(dim, width, func(d, s int) float64 {
+		if s >= n {
+			return math.NaN() // dead columns are poisoned; kernels must not care
+		}
+		return float64(d+1) * 1e-5
+	})
+	w, wc := rowsFixture(dim, width, func(d, s int) float64 { return 1e-4 })
+	dst := []float64{-7, -7, -7, -7}
+	WRMSRows(dst, e, w, dim, width, n)
+	for s := 0; s < n; s++ {
+		if ref := WRMS(ec[s], wc[s]); !bitsEq(dst[s], ref) {
+			t.Errorf("slot %d: rows %v, scalar %v", s, dst[s], ref)
+		}
+	}
+	for s := n; s < width; s++ {
+		if dst[s] != -7 {
+			t.Errorf("dead slot %d written: %v", s, dst[s])
+		}
+	}
+}
+
+func TestWRMSRowsZeroDim(t *testing.T) {
+	dst := []float64{1, 2}
+	WRMSRows(dst, nil, nil, 0, 2, 2)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Fatalf("dim 0 must yield 0 per slot (scalar empty-vector convention), got %v", dst)
+	}
+	WRMSDiffRows(dst, nil, nil, nil, 0, 2, 2)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Fatalf("dim 0 diff must yield 0 per slot, got %v", dst)
+	}
+}
+
+// TestScoreRowsMatchesUnfused pins the fusion: ScoreRows must reproduce the
+// NonFiniteRows ×2 + ErrWeightsRows + norm sequence bit for bit — mask (OR
+// semantics over both buffers included), weights, and the per-slot score,
+// under both norms, with poison and a partial live prefix in play.
+func TestScoreRowsMatchesUnfused(t *testing.T) {
+	const dim, width, n = 5, 8, 6
+	const tolA, tolR = 1e-6, 1e-4
+	x, _ := rowsFixture(dim, width, func(d, s int) float64 {
+		if s == 2 && d == 3 {
+			return math.Inf(1) // poisoned proposal component
+		}
+		return math.Sin(float64(d*31+s*7+1)) * math.Pow(10, float64(s%5-2))
+	})
+	e, _ := rowsFixture(dim, width, func(d, s int) float64 {
+		switch {
+		case s == 4 && d == 0:
+			return math.NaN() // poisoned error component
+		case s >= n:
+			return math.NaN() // dead columns must not leak into live slots
+		}
+		return math.Cos(float64(d*13+s*5)) * 1e-5
+	})
+	for _, maxNorm := range []bool{false, true} {
+		refW := make([]float64, dim*width)
+		refS := make([]float64, width)
+		refM := make([]bool, width)
+		NonFiniteRows(refM, x, dim, width, n)
+		NonFiniteRows(refM, e, dim, width, n)
+		ErrWeightsRows(refW, x, dim, width, n, tolA, tolR)
+		if maxNorm {
+			WMaxRows(refS, e, refW, dim, width, n)
+		} else {
+			WRMSRows(refS, e, refW, dim, width, n)
+		}
+
+		w := make([]float64, dim*width)
+		serr := []float64{-7, -7, -7, -7, -7, -7, -7, -7}
+		mask := make([]bool, width)
+		mask[7] = true // dead slot: must stay untouched
+		ScoreRows(serr, mask, w, x, e, dim, width, n, tolA, tolR, maxNorm)
+
+		for s := 0; s < n; s++ {
+			if mask[s] != refM[s] {
+				t.Errorf("maxNorm=%v slot %d: mask %v, unfused %v", maxNorm, s, mask[s], refM[s])
+			}
+			if !bitsEq(serr[s], refS[s]) {
+				t.Errorf("maxNorm=%v slot %d: score %x, unfused %x", maxNorm, s,
+					math.Float64bits(serr[s]), math.Float64bits(refS[s]))
+			}
+			for d := 0; d < dim; d++ {
+				if !bitsEq(w[d*width+s], refW[d*width+s]) {
+					t.Errorf("maxNorm=%v slot %d component %d: weight %x, unfused %x", maxNorm, s, d,
+						math.Float64bits(w[d*width+s]), math.Float64bits(refW[d*width+s]))
+				}
+			}
+		}
+		if !mask[7] {
+			t.Errorf("maxNorm=%v: dead slot mask cleared", maxNorm)
+		}
+		for s := n; s < width; s++ {
+			if serr[s] != -7 {
+				t.Errorf("maxNorm=%v: dead slot %d score written: %v", maxNorm, s, serr[s])
+			}
+		}
+	}
+}
+
+func TestNonFiniteRows(t *testing.T) {
+	const dim, width, n = 3, 5, 4
+	v, cols := rowsFixture(dim, width, func(d, s int) float64 {
+		switch {
+		case s == 1 && d == 2:
+			return math.NaN()
+		case s == 3 && d == 0:
+			return math.Inf(-1)
+		default:
+			return float64(d - s)
+		}
+	})
+	mask := make([]bool, width)
+	mask[4] = true // dead slot: must stay untouched
+	NonFiniteRows(mask, v, dim, width, n)
+	for s := 0; s < n; s++ {
+		if got, want := mask[s], cols[s].HasNaNOrInf(); got != want {
+			t.Errorf("slot %d: mask %v, HasNaNOrInf %v", s, got, want)
+		}
+	}
+	if !mask[4] {
+		t.Error("dead slot mask cleared")
+	}
+	// ORing semantics: a second buffer adds poison without clearing.
+	v2 := make([]float64, dim*width)
+	v2[0*width+0] = math.Inf(1)
+	NonFiniteRows(mask, v2, dim, width, n)
+	if !mask[0] || !mask[1] || !mask[3] {
+		t.Errorf("mask must OR across buffers, got %v", mask)
+	}
+}
+
+func TestRowsShapePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"short buffer", func() { WRMSRows(make([]float64, 4), make([]float64, 3), make([]float64, 8), 2, 4, 2) }},
+		{"n over width", func() { WRMSRows(make([]float64, 9), make([]float64, 8), make([]float64, 8), 2, 4, 5) }},
+		{"short mask", func() { NonFiniteRows(make([]bool, 1), make([]float64, 8), 2, 4, 2) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.f()
+		}()
+	}
+}

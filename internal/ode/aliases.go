@@ -76,6 +76,17 @@ func NewCheckContext(stepIndex int, t, h float64, xStart, xStored, xProp, errVec
 		sErr1, weights, hist, ctrl, tab, recomputation, fprop, sys)
 }
 
+// The lane-planar decide vocabulary (control.BatchEngine.DecideLanes): a
+// BatchValidator splits its double-check into a scalar plan, a batched
+// estimate through a registered BatchKernel, and a scalar finish; this
+// package registers the "lip" and "bdf" kernels (batchestimate.go).
+type (
+	BatchValidator = control.BatchValidator
+	BatchKernel    = control.BatchKernel
+	EstimatePlan   = control.EstimatePlan
+	KernelLane     = control.KernelLane
+)
+
 // FixedValidator inspects a completed fixed-step trial (§VII-C).
 type FixedValidator = control.FixedValidator
 

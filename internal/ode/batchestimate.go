@@ -1,0 +1,156 @@
+package ode
+
+import (
+	"repro/internal/control"
+	"repro/internal/la"
+)
+
+// The lane-planar forms of the two second-estimate strategies: one call
+// evaluates the history columns of every requesting lane of a lockstep
+// batch, writing each lane's estimate into its slot column of the row-major
+// [dim][width] destination. The per-lane node bookkeeping — the degenerate-
+// history walk-down to the largest sound order — is inherently scalar and
+// runs exactly as in the dense estimators; the solution-sized accumulation
+// streams straight into the batch columns, skipping the dense-vector
+// round-trip (gather, estimate, scaled diff, scatter) the scalar path pays
+// per lane.
+//
+// Bit-identity contract: each slot's floating-point stream is exactly the
+// scalar estimator's — weights are computed per lane by the same
+// LagrangeWeightsInto/FirstDerivativeWeightsInto calls, history columns
+// accumulate in the same ascending-k, ascending-component order, and the
+// BDF's leading-weight division happens after all accumulation, exactly
+// like the scalar Scale. The batch package's oracle-differential suites
+// enforce this against the serial integrator.
+
+func init() {
+	// Kernel names are the Strategy names of internal/core, which is how a
+	// DoubleCheck's plan finds its batched estimator.
+	control.RegisterBatchKernel("lip", func() control.BatchKernel { return new(BatchLIPEstimator) })
+	control.RegisterBatchKernel("bdf", func() control.BatchKernel { return new(BatchBDFEstimator) })
+}
+
+// BatchLIPEstimator is the lane-planar LIPEstimator. The zero value is
+// ready; the node and weight workspaces grow once to the largest requested
+// order and are reused by every later call, so warm rounds allocate nothing.
+// Like the scalar estimator it is not safe for concurrent use; each
+// BatchEngine instantiates its own through the kernel registry.
+type BatchLIPEstimator struct {
+	nodes, w []float64
+}
+
+// EstimateLanes implements control.BatchKernel: for each requesting lane it
+// fills slot column lanes[i].Slot of dst with the order-Q Lagrange
+// extrapolation of that lane's history at lanes[i].T, with the scalar
+// estimator's degenerate-history fallback (largest order with pairwise
+// distinct nodes and finite weights, down to a copy of the last value).
+func (e *BatchLIPEstimator) EstimateLanes(dst []float64, dim, width int, lanes []control.KernelLane) {
+	for i := range lanes {
+		kl := &lanes[i]
+		need := kl.Q + 1
+		if cap(e.nodes) < need {
+			//lint:allow allocfree -- grow-once workspace: reused by every later round at this order or below
+			e.nodes = make([]float64, need)
+			//lint:allow allocfree -- grow-once workspace: reused by every later round at this order or below
+			e.w = make([]float64, need)
+		}
+		nodes := e.nodes[:need]
+		for k := 0; k < need; k++ {
+			nodes[k] = kl.Hist.T(k)
+		}
+		col := dst[kl.Slot:]
+		done := false
+		for qEff := distinctPrefix(nodes) - 1; qEff >= 1; qEff-- {
+			w := e.w[:qEff+1]
+			la.LagrangeWeightsInto(w, nodes[:qEff+1], kl.T)
+			if !finiteAll(w) {
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				col[d*width] = 0
+			}
+			for k := 0; k <= qEff; k++ {
+				wk := w[k]
+				x := kl.Hist.X(k)
+				for d := 0; d < dim; d++ {
+					col[d*width] += wk * x[d]
+				}
+			}
+			done = true
+			break
+		}
+		if !done {
+			x := kl.Hist.X(0)
+			for d := 0; d < dim; d++ {
+				col[d*width] = x[d]
+			}
+		}
+	}
+}
+
+// BatchBDFEstimator is the lane-planar BDFEstimator; the same workspace and
+// concurrency conventions as BatchLIPEstimator apply. Each lane's F carries
+// its f(T+H, XProp) (KernelLane.F, planned by the detector via
+// CheckContext.FProp, so FSAL reuse and the injection hook's pseudo-stage
+// exposure happen per lane exactly as in the scalar path).
+type BatchBDFEstimator struct {
+	nodes, d, scratch []float64
+}
+
+// EstimateLanes implements control.BatchKernel with the variable-step BDF
+// prediction of each requesting lane, including the scalar estimator's
+// walk-down (pairwise distinct nodes, finite weights, nonzero leading
+// weight, degrading to the last accepted value at order 0).
+func (e *BatchBDFEstimator) EstimateLanes(dst []float64, dim, width int, lanes []control.KernelLane) {
+	for i := range lanes {
+		kl := &lanes[i]
+		need := kl.Q + 1
+		if cap(e.nodes) < need {
+			//lint:allow allocfree -- grow-once workspace: reused by every later round at this order or below
+			e.nodes = make([]float64, need)
+			//lint:allow allocfree -- grow-once workspace: reused by every later round at this order or below
+			e.d = make([]float64, need)
+			//lint:allow allocfree -- grow-once workspace: reused by every later round at this order or below
+			e.scratch = make([]float64, need)
+		}
+		nodes := e.nodes[:need]
+		nodes[0] = kl.T
+		for k := 1; k <= kl.Q; k++ {
+			nodes[k] = kl.Hist.T(k - 1)
+		}
+		col := dst[kl.Slot:]
+		done := false
+		for qEff := distinctPrefix(nodes) - 1; qEff >= 1; qEff-- {
+			d := e.d[:qEff+1]
+			la.FirstDerivativeWeightsInto(d, e.scratch[:qEff+1], kl.T, nodes[:qEff+1])
+			if !finiteAll(d) || d[0] == 0 {
+				continue
+			}
+			// col = (F - sum_{k>=1} d_k x_{n-k}) / d_0, accumulated exactly
+			// like the scalar CopyFrom/AXPY/Scale sequence.
+			f := kl.F
+			for c := 0; c < dim; c++ {
+				col[c*width] = f[c]
+			}
+			for k := 1; k <= qEff; k++ {
+				dk := -d[k]
+				x := kl.Hist.X(k - 1)
+				for c := 0; c < dim; c++ {
+					col[c*width] += dk * x[c]
+				}
+			}
+			inv := 1 / d[0]
+			for c := 0; c < dim; c++ {
+				col[c*width] *= inv
+			}
+			done = true
+			break
+		}
+		if !done {
+			x := kl.Hist.X(0)
+			for c := 0; c < dim; c++ {
+				col[c*width] = x[c]
+			}
+		}
+	}
+}
